@@ -1,0 +1,38 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every bench regenerates one of the paper's tables or figures, prints the
+rows/series, persists them under ``benchmarks/results/``, and asserts the
+paper's qualitative shape. Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record(request):
+    """Print reproduction rows and persist them to benchmarks/results/."""
+
+    def _record(title: str, lines: list[str]) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n".join([f"== {title} ==", *lines, ""])
+        print("\n" + text)
+        out_file = RESULTS_DIR / f"{request.node.name}.txt"
+        out_file.write_text(text)
+
+    return _record
+
+
+def fmt_row(label: str, **values) -> str:
+    cells = "  ".join(
+        f"{key}={value:.4g}" if isinstance(value, float) else f"{key}={value}"
+        for key, value in values.items()
+    )
+    return f"{label:<28s} {cells}"

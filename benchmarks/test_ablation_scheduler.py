@@ -1,0 +1,70 @@
+"""Ablation: MP-Rec's scheduler design choices (DESIGN.md).
+
+1. Preference order (hybrid > DHE > table) vs. a greedy-latency scheduler:
+   greedy matches raw throughput but forfeits the accuracy gains.
+2. MP-Cache on vs. off: without the cache, compute paths are rarely
+   feasible, so served accuracy falls (Insight 4).
+"""
+
+from conftest import fmt_row
+
+from repro.core.online import GreedyLatencyScheduler, MultiPathScheduler
+from repro.experiments.setup import (
+    build_plan,
+    default_cache_effect,
+    run_serving_comparison,
+)
+from repro.core.representations import paper_configs
+from repro.models.configs import KAGGLE
+from repro.serving.simulator import ServingSimulator
+from repro.serving.workload import ServingScenario
+
+
+def run_ablation():
+    scenario = ServingScenario.paper_default(n_queries=1500, seed=91)
+    plan = build_plan(KAGGLE)
+    effect = default_cache_effect(KAGGLE, paper_configs(KAGGLE)["dhe"])
+    cached_paths = plan.build_paths(
+        encoder_hit_rate=effect.encoder_hit_rate,
+        decoder_speedup=effect.decoder_speedup,
+    )
+    uncached_paths = plan.build_paths()
+
+    runs = {
+        "mp-rec (cache)": MultiPathScheduler(cached_paths),
+        "mp-rec (no cache)": MultiPathScheduler(uncached_paths),
+        "greedy-latency (cache)": GreedyLatencyScheduler(cached_paths),
+    }
+    return {
+        name: ServingSimulator(sched, track_energy=False).run(scenario)
+        for name, sched in runs.items()
+    }
+
+
+def test_ablation_scheduler(benchmark, record):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    lines = []
+    for name, res in results.items():
+        lines.append(
+            fmt_row(
+                name,
+                ctput=res.correct_prediction_throughput,
+                accuracy=res.mean_accuracy,
+                viol_pct=res.violation_rate * 100,
+            )
+        )
+    record("Ablation: scheduler preference order and MP-Cache", lines)
+
+    with_cache = results["mp-rec (cache)"]
+    no_cache = results["mp-rec (no cache)"]
+    greedy = results["greedy-latency (cache)"]
+
+    # Accuracy-preference beats greedy-latency on served accuracy.
+    assert with_cache.mean_accuracy > greedy.mean_accuracy
+    # MP-Cache lifts accuracy or correct-prediction throughput.
+    assert (
+        with_cache.mean_accuracy > no_cache.mean_accuracy
+        or with_cache.correct_prediction_throughput
+        > no_cache.correct_prediction_throughput
+    )

@@ -1,0 +1,100 @@
+"""Extension bench: TT-Rec vs. DHE vs. table trade-offs.
+
+Section 2.2 chooses DHE over TT-Rec "due to the flexibility in tuning
+DHE's encoder-decoder stacks"; this bench makes the comparison concrete on
+our substrate: compression, per-lookup FLOPs, and *real* mini-scale
+training quality for all compute-based representations.
+"""
+
+import numpy as np
+from conftest import fmt_row
+
+from repro.data.synthetic import SyntheticCTRDataset
+from repro.embeddings.ttrec import tt_bytes
+from repro.embeddings.costs import dhe_bytes, dhe_flops_per_lookup, table_bytes
+from repro.embeddings.ttrec import TTEmbedding
+from repro.models.configs import KAGGLE, ModelConfig
+from repro.models.dlrm import build_dlrm
+from repro.training.trainer import Trainer
+
+MINI = ModelConfig(
+    name="tradeoff-mini",
+    n_dense=8,
+    cardinalities=[60, 250, 900, 40],
+    embedding_dim=8,
+    bottom_mlp=[24],
+    top_mlp=[24],
+)
+
+
+def capacity_flops_comparison():
+    from repro.embeddings.mixed_dim import mixed_dim_bytes
+
+    dim = KAGGLE.embedding_dim
+    dense = sum(table_bytes(rows, dim) for rows in KAGGLE.cardinalities)
+    tt = sum(tt_bytes(rows, dim, rank=8) for rows in KAGGLE.cardinalities)
+    dhe = 26 * dhe_bytes(2048, 480, 2, dim)
+    md = mixed_dim_bytes(KAGGLE.cardinalities, dim, alpha=0.4)
+    rng = np.random.default_rng(0)
+    tt_flops = TTEmbedding(10_131_227, dim, rank=8, rng=rng).flops_per_lookup()
+    dhe_flops = dhe_flops_per_lookup(2048, 480, 2, dim)
+    return {
+        "table_gb": dense / 1e9,
+        "ttrec_gb": tt / 1e9,
+        "dhe_gb": dhe / 1e9,
+        "mixed_dim_gb": md / 1e9,
+        "ttrec_flops_per_lookup": tt_flops,
+        "dhe_flops_per_lookup": dhe_flops,
+    }
+
+
+def training_comparison():
+    aucs = {}
+    for rep, kwargs in (
+        ("table", {}),
+        ("dhe", dict(k=32, dnn=32, h=1)),
+        ("ttrec", dict(tt_rank=4)),
+    ):
+        scores = []
+        for seed in (0, 1):
+            rng = np.random.default_rng(seed)
+            model = build_dlrm(MINI, rep, rng, **kwargs)
+            dataset = SyntheticCTRDataset(MINI, seed=7, latent_dim=4)
+            result = Trainer(model, dataset, lr=0.1).train(
+                n_steps=150, batch_size=128, eval_samples=4000
+            )
+            scores.append(result.eval_auc)
+        aucs[rep] = float(np.mean(scores))
+    return aucs
+
+
+def run():
+    return capacity_flops_comparison(), training_comparison()
+
+
+def test_ext_representation_tradeoffs(benchmark, record):
+    costs, aucs = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "-- Kaggle-scale capacity / compute --",
+        fmt_row("table", gb=costs["table_gb"]),
+        fmt_row("ttrec(r=8)", gb=costs["ttrec_gb"],
+                flops_per_lookup=costs["ttrec_flops_per_lookup"]),
+        fmt_row("dhe(k=2048,w=480,h=2)", gb=costs["dhe_gb"],
+                flops_per_lookup=costs["dhe_flops_per_lookup"]),
+        fmt_row("mixed-dim(a=0.4)", gb=costs["mixed_dim_gb"]),
+        "-- mini-scale real training (mean AUC over 2 seeds) --",
+        *(fmt_row(rep, auc=auc) for rep, auc in aucs.items()),
+    ]
+    record("Extension: TT-Rec vs DHE vs table trade-offs", lines)
+
+    # All compression families shrink the table by >2x (TT/DHE by >10x).
+    assert costs["ttrec_gb"] < costs["table_gb"] / 10
+    assert costs["dhe_gb"] < costs["table_gb"] / 10
+    assert costs["mixed_dim_gb"] < costs["table_gb"] / 2
+    # TT-Rec's per-lookup contraction is far cheaper than a large DHE
+    # decoder pass (the flip side of DHE's tunability).
+    assert costs["ttrec_flops_per_lookup"] < costs["dhe_flops_per_lookup"]
+    # All representations learn at mini scale.
+    for rep, auc in aucs.items():
+        assert auc > 0.53, rep

@@ -1,0 +1,60 @@
+"""Figure 3: the embedding-representation design space on Criteo Kaggle.
+
+(a) model accuracy vs. capacity — DHE points sit 10-1000x left of tables;
+(b) model accuracy vs. FLOPs — tables are cheapest, hybrid most accurate.
+"""
+
+from conftest import fmt_row
+
+from repro.core.representations import paper_configs, representation_space
+from repro.models.configs import KAGGLE
+from repro.quality.estimator import QualityEstimator
+
+
+def sweep_design_space():
+    estimator = QualityEstimator("kaggle")
+    points = []
+    for rep in representation_space(KAGGLE):
+        points.append(
+            {
+                "label": rep.display,
+                "kind": rep.kind,
+                "capacity_gb": rep.total_bytes(KAGGLE) / 1e9,
+                "mflops": rep.flops_per_sample(KAGGLE) / 1e6,
+                "accuracy": estimator.accuracy(rep),
+            }
+        )
+    return points
+
+
+def test_fig03_design_space(benchmark, record):
+    points = benchmark.pedantic(sweep_design_space, rounds=1, iterations=1)
+
+    by_kind = {}
+    for point in points:
+        by_kind.setdefault(point["kind"], []).append(point)
+
+    best = {kind: max(pts, key=lambda p: p["accuracy"]) for kind, pts in by_kind.items()}
+    smallest = {kind: min(pts, key=lambda p: p["capacity_gb"]) for kind, pts in by_kind.items()}
+
+    lines = ["-- accuracy-optimal per kind (paper: hybrid on top) --"]
+    for kind, point in sorted(best.items()):
+        lines.append(fmt_row(point["label"], kind=kind, acc=point["accuracy"],
+                             gb=point["capacity_gb"], mflops=point["mflops"]))
+    lines.append("-- capacity-minimal per kind (paper: DHE 10-1000x smaller) --")
+    for kind, point in sorted(smallest.items()):
+        lines.append(fmt_row(point["label"], kind=kind, acc=point["accuracy"],
+                             gb=point["capacity_gb"], mflops=point["mflops"]))
+    record("Figure 3: design space (Kaggle)", lines)
+
+    # Paper shape (a): hybrid achieves the best accuracy overall.
+    overall_best = max(points, key=lambda p: p["accuracy"])
+    assert overall_best["kind"] == "hybrid"
+    # Paper shape (a): DHE capacities are orders of magnitude below tables.
+    table_cfg = paper_configs(KAGGLE)["table"]
+    table_gb = table_cfg.total_bytes(KAGGLE) / 1e9
+    assert smallest["dhe"]["capacity_gb"] < table_gb / 10
+    # Paper shape (b): tables have the fewest FLOPs; DHE/hybrid 10-100x more.
+    table_flops = min(p["mflops"] for p in by_kind["table"])
+    dhe_best_flops = best["dhe"]["mflops"]
+    assert dhe_best_flops > 10 * max(table_flops, 1e-6)

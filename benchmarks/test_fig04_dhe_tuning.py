@@ -1,0 +1,70 @@
+"""Figure 4: DHE compression ratio vs. accuracy, colored by k.
+
+Paper shapes: accuracy rises with the number of encoder hash functions k
+(red -> black as k goes 2 -> 2048); decoder width/height barely move
+accuracy at fixed k; a DHE exists with >= baseline accuracy at ~334x
+compression of the Terabyte model.
+"""
+
+from conftest import fmt_row
+
+from repro.core.representations import RepresentationConfig
+from repro.models.configs import TERABYTE
+from repro.quality.estimator import QualityEstimator
+
+KS = (2, 8, 32, 128, 512, 1024, 2048)
+DECODERS = ((64, 1), (128, 2), (256, 2), (480, 2), (480, 4))
+
+
+def sweep_dhe():
+    estimator = QualityEstimator("terabyte")
+    baseline = RepresentationConfig("table", TERABYTE.embedding_dim)
+    baseline_bytes = baseline.total_bytes(TERABYTE)
+    points = []
+    for k in KS:
+        for dnn, h in DECODERS:
+            rep = RepresentationConfig("dhe", TERABYTE.embedding_dim, k=k, dnn=dnn, h=h)
+            points.append(
+                {
+                    "k": k,
+                    "dnn": dnn,
+                    "h": h,
+                    "compression": baseline_bytes / rep.total_bytes(TERABYTE),
+                    "accuracy": estimator.accuracy(rep),
+                }
+            )
+    return points, estimator.anchors.table_accuracy
+
+
+def test_fig04_dhe_tuning(benchmark, record):
+    points, baseline_acc = benchmark.pedantic(sweep_dhe, rounds=1, iterations=1)
+
+    lines = [f"table baseline accuracy: {baseline_acc:.3f}%"]
+    for k in KS:
+        group = [p for p in points if p["k"] == k]
+        accs = [p["accuracy"] for p in group]
+        comps = [p["compression"] for p in group]
+        lines.append(
+            fmt_row(
+                f"k={k}", acc_min=min(accs), acc_max=max(accs),
+                compression_min=min(comps), compression_max=max(comps),
+            )
+        )
+    record("Figure 4: DHE tuning (Terabyte)", lines)
+
+    # Accuracy is monotone in k at any fixed decoder.
+    for dnn, h in DECODERS:
+        series = [p["accuracy"] for p in points if (p["dnn"], p["h"]) == (dnn, h)]
+        assert series == sorted(series)
+    # At fixed k, decoder shape is second-order (same-color points cluster).
+    for k in KS:
+        accs = [p["accuracy"] for p in points if p["k"] == k]
+        assert max(accs) - min(accs) < 0.05
+    # A >=100x-compressed DHE matches the table baseline (paper: 334x).
+    good = [
+        p for p in points
+        if p["accuracy"] >= baseline_acc and p["compression"] >= 100
+    ]
+    assert good, "no high-compression DHE matching baseline accuracy"
+    best = max(good, key=lambda p: p["compression"])
+    assert best["compression"] > 90

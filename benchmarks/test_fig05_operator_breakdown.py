@@ -1,0 +1,75 @@
+"""Figure 5: operator breakdown of table/DHE/select/hybrid on CPU and GPU.
+
+Paper numbers (characterization DHE stack): DHE 10.5x (CPU) / 4.7x (GPU)
+slower than table; select 2.1x / 1.5x; hybrid 11.2x / 5.4x, with hybrid the
+slowest everywhere and select the compromise.
+"""
+
+from conftest import fmt_row
+
+from repro.analysis.breakdown import breakdown_table, slowdown_vs
+from repro.core.representations import RepresentationConfig
+from repro.hardware.catalog import CPU_BROADWELL, GPU_V100
+from repro.models.configs import KAGGLE
+
+BATCH = 2048
+STACK = dict(k=1024, dnn=128, h=2)  # mid-size characterization stack
+
+REPS = {
+    "table": RepresentationConfig("table", 16),
+    "dhe": RepresentationConfig("dhe", 16, **STACK),
+    "select": RepresentationConfig("select", 16, n_dhe_features=3, **STACK),
+    "hybrid": RepresentationConfig(
+        "hybrid", 24, table_dim=16, dhe_dim=8, **STACK
+    ),
+}
+
+PAPER_SLOWDOWNS = {
+    "cpu-broadwell": {"dhe": 10.5, "select": 2.1, "hybrid": 11.2},
+    "gpu-v100": {"dhe": 4.7, "select": 1.5, "hybrid": 5.4},
+}
+
+
+def compute_breakdowns():
+    return {
+        device.name: breakdown_table(REPS, KAGGLE, device, BATCH)
+        for device in (CPU_BROADWELL, GPU_V100)
+    }
+
+
+def test_fig05_operator_breakdown(benchmark, record):
+    all_breakdowns = benchmark.pedantic(compute_breakdowns, rounds=1, iterations=1)
+
+    lines = []
+    for device_name, breakdowns in all_breakdowns.items():
+        slowdowns = slowdown_vs(breakdowns, "table")
+        lines.append(f"-- {device_name} (batch {BATCH}) --")
+        for name, bd in breakdowns.items():
+            paper = PAPER_SLOWDOWNS[device_name].get(name, 1.0)
+            lines.append(
+                fmt_row(
+                    name,
+                    total_ms=bd.total * 1e3,
+                    slowdown=slowdowns[name],
+                    paper=paper,
+                    embed_ms=bd.embedding * 1e3,
+                    encdec_ms=(bd.encoder + bd.decoder) * 1e3,
+                    dense_ms=bd.dense_compute * 1e3,
+                )
+            )
+    record("Figure 5: operator breakdown", lines)
+
+    for device_name, breakdowns in all_breakdowns.items():
+        slowdowns = slowdown_vs(breakdowns, "table")
+        paper = PAPER_SLOWDOWNS[device_name]
+        # Shape: hybrid slowest, select the compromise, within 2x of paper.
+        assert slowdowns["hybrid"] >= slowdowns["dhe"]
+        assert 1.0 < slowdowns["select"] < slowdowns["dhe"]
+        for name, target in paper.items():
+            assert target / 2 < slowdowns[name] < target * 2, (
+                f"{device_name}/{name}: {slowdowns[name]:.2f} vs paper {target}"
+            )
+    # GPU suffers less DHE slowdown than CPU (parallel hashing, Sec 3.3).
+    cpu_dhe = slowdown_vs(all_breakdowns["cpu-broadwell"], "table")["dhe"]
+    gpu_dhe = slowdown_vs(all_breakdowns["gpu-v100"], "table")["dhe"]
+    assert gpu_dhe < cpu_dhe

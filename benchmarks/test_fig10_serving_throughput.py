@@ -1,0 +1,61 @@
+"""Figure 10: throughput of correct predictions serving 10K queries.
+
+Paper: MP-Rec 2.49x (Kaggle) / 3.76x (Terabyte) over table-CPU; static
+DHE/hybrid on GPU degrade to ~0.37x; table CPU-GPU switching sits between.
+"""
+
+from conftest import fmt_row
+
+from repro.experiments.setup import run_serving_comparison
+from repro.models.configs import KAGGLE, TERABYTE
+from repro.serving.workload import ServingScenario
+
+SUBSET = ("table-cpu", "table-gpu", "dhe-gpu", "hybrid-gpu", "table-switch", "mp-rec")
+N_QUERIES = 2000
+PAPER = {"kaggle": 2.49, "terabyte": 3.76}
+
+
+def run_dataset(model, seed):
+    scenario = ServingScenario.paper_default(n_queries=N_QUERIES, seed=seed)
+    return run_serving_comparison(model, scenario, subset=SUBSET)
+
+
+def _check(results, dataset, record):
+    base = results["table-cpu"].correct_prediction_throughput
+    lines = [f"(paper MP-Rec factor: {PAPER[dataset]}x)"]
+    for name, res in results.items():
+        lines.append(
+            fmt_row(
+                name,
+                ctput_factor=res.correct_prediction_throughput / base,
+                raw_tput=res.raw_throughput,
+                accuracy=res.mean_accuracy,
+                viol_pct=res.violation_rate * 100,
+            )
+        )
+    record(f"Figure 10: correct-prediction throughput ({dataset})", lines)
+
+    factor = results["mp-rec"].correct_prediction_throughput / base
+    # Shape: MP-Rec on top; static compute representations degrade.
+    for name, res in results.items():
+        assert (
+            results["mp-rec"].correct_prediction_throughput
+            >= res.correct_prediction_throughput * 0.99
+        ), name
+    assert results["dhe-gpu"].correct_prediction_throughput < 0.8 * base
+    assert results["hybrid-gpu"].correct_prediction_throughput < 0.8 * base
+    assert factor > 1.5
+    # Within 2x of the paper's headline factor.
+    assert PAPER[dataset] / 2 < factor < PAPER[dataset] * 2
+    # MP-Rec serves with higher accuracy than any table-only deployment.
+    assert results["mp-rec"].mean_accuracy > results["table-cpu"].mean_accuracy
+
+
+def test_fig10_kaggle(benchmark, record):
+    results = benchmark.pedantic(run_dataset, args=(KAGGLE, 11), rounds=1, iterations=1)
+    _check(results, "kaggle", record)
+
+
+def test_fig10_terabyte(benchmark, record):
+    results = benchmark.pedantic(run_dataset, args=(TERABYTE, 12), rounds=1, iterations=1)
+    _check(results, "terabyte", record)

@@ -1,0 +1,52 @@
+"""Figure 11: raw throughput vs. throughput of correct predictions.
+
+Paper shape: MP-Rec's raw throughput (hatched bars) matches the best
+table-only deployments while its correct-prediction throughput (colored
+bars) exceeds them — the gains come from serving *more accurate*
+predictions at comparable sample rates, not from sacrificing accuracy.
+"""
+
+from conftest import fmt_row
+
+from repro.experiments.setup import run_serving_comparison
+from repro.models.configs import KAGGLE
+from repro.serving.workload import ServingScenario
+
+SUBSET = ("table-cpu", "table-gpu", "dhe-gpu", "hybrid-gpu", "table-switch", "mp-rec")
+
+
+def run():
+    scenario = ServingScenario.paper_default(n_queries=2000, seed=21)
+    return run_serving_comparison(KAGGLE, scenario, subset=SUBSET)
+
+
+def test_fig11_throughput_breakdown(benchmark, record):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = []
+    for name, res in results.items():
+        lines.append(
+            fmt_row(
+                name,
+                raw_ksamples=res.raw_throughput / 1e3,
+                correct_ksamples=res.correct_prediction_throughput / 1e3,
+                accuracy=res.mean_accuracy,
+            )
+        )
+    record("Figure 11: raw vs correct-prediction throughput (Kaggle)", lines)
+
+    mp = results["mp-rec"]
+    best_table_raw = max(
+        results[n].raw_throughput for n in ("table-cpu", "table-gpu", "table-switch")
+    )
+    # Raw throughput within 15% of the best table-only deployment...
+    assert mp.raw_throughput > 0.85 * best_table_raw
+    # ...while correct-prediction throughput strictly exceeds each baseline's.
+    for name in ("table-cpu", "dhe-gpu", "hybrid-gpu"):
+        assert (
+            mp.correct_prediction_throughput
+            > results[name].correct_prediction_throughput
+        )
+    # The ratio correct/raw equals mean accuracy/100 by construction.
+    ratio = mp.correct_prediction_throughput / mp.raw_throughput
+    assert abs(ratio - mp.mean_accuracy / 100.0) < 1e-6

@@ -1,0 +1,100 @@
+"""Figure 12: IPU query serving (HW-3 case study).
+
+Paper: if the model fits on-chip and IPUs handle dynamic query sizes,
+DHE-on-IPU and MP-Rec-with-IPU see the largest potential speedups
+(MP-Rec + IPU: up to 34.24x on the offered load); table/hybrid
+configurations gain less because pod-scale sharding forfeits data
+parallelism (Insight 6).
+"""
+
+from conftest import fmt_row
+
+from repro.core.online import MultiPathScheduler, StaticScheduler
+from repro.core.profiler import make_path
+from repro.core.representations import paper_configs
+from repro.experiments.setup import build_plan, default_cache_effect, hw1_devices
+from repro.hardware.catalog import CPU_BROADWELL, IPU_POD16
+from repro.hardware.topology import plan_ipu_placement
+from repro.models.configs import KAGGLE
+from repro.quality.estimator import QualityEstimator
+from repro.serving.simulator import ServingSimulator
+from repro.serving.workload import ServingScenario
+
+# Offered load high enough to expose pod-scale capacity (the paper's
+# "potential speedup" assumes the IPU absorbs arbitrary query shapes).
+QPS = 8000.0
+N_QUERIES = 4000
+
+
+def run_ipu_serving():
+    estimator = QualityEstimator("kaggle")
+    configs = paper_configs(KAGGLE)
+    scenario = ServingScenario.paper_default(
+        n_queries=N_QUERIES, qps=QPS, seed=41
+    )
+
+    def ipu_path(rep_name):
+        rep = configs[rep_name]
+        placement = plan_ipu_placement(rep.embedding_bytes(KAGGLE), IPU_POD16)
+        path = make_path(
+            rep, KAGGLE, placement.device, estimator.accuracy(rep),
+            label=f"{rep_name.upper()}(IPU16)",
+        )
+        return path, placement.strategy
+
+    results, strategies = {}, {}
+    base_path = make_path(
+        configs["table"], KAGGLE, CPU_BROADWELL,
+        estimator.accuracy(configs["table"]), label="TBL(CPU)",
+    )
+    results["tbl-cpu"] = ServingSimulator(
+        StaticScheduler([base_path]), track_energy=False
+    ).run(scenario)
+
+    for rep_name in ("table", "dhe", "hybrid"):
+        path, strategy = ipu_path(rep_name)
+        strategies[rep_name] = strategy
+        results[f"{rep_name}-ipu16"] = ServingSimulator(
+            StaticScheduler([path]), track_energy=False
+        ).run(scenario)
+
+    # MP-Rec with the IPU pod integrated alongside HW-1's CPU + GPU.
+    plan = build_plan(KAGGLE, hw1_devices())
+    effect = default_cache_effect(KAGGLE, configs["dhe"])
+    paths = plan.build_paths(
+        encoder_hit_rate=effect.encoder_hit_rate,
+        decoder_speedup=effect.decoder_speedup,
+    )
+    dhe_ipu, _ = ipu_path("dhe")
+    results["mp-rec+ipu"] = ServingSimulator(
+        MultiPathScheduler(paths + [dhe_ipu]), track_energy=False
+    ).run(scenario)
+    return results, strategies
+
+
+def test_fig12_ipu_serving(benchmark, record):
+    results, strategies = benchmark.pedantic(run_ipu_serving, rounds=1, iterations=1)
+    base = results["tbl-cpu"].correct_prediction_throughput
+
+    lines = [f"placements: {strategies} (paper Fig 6)"]
+    for name, res in results.items():
+        lines.append(
+            fmt_row(
+                name,
+                speedup=res.correct_prediction_throughput / base,
+                accuracy=res.mean_accuracy,
+            )
+        )
+    lines.append("paper anchors: IPU-16 DHE 16.65x; MP-Rec + IPU up to 34.24x")
+    record("Figure 12: IPU query serving", lines)
+
+    speedup = lambda name: results[name].correct_prediction_throughput / base
+    # DHE replicates 16x (fits on-chip); table pipelines; both beat CPU.
+    assert strategies["dhe"] == "data"
+    assert strategies["table"] == "pipeline"
+    assert speedup("dhe-ipu16") > speedup("table-ipu16")
+    assert speedup("dhe-ipu16") > speedup("hybrid-ipu16")
+    assert 8 < speedup("dhe-ipu16") < 30  # paper 16.65
+    # MP-Rec with the IPU integrated unlocks the largest speedup.
+    assert speedup("mp-rec+ipu") > speedup("dhe-ipu16")
+    assert speedup("mp-rec+ipu") > 10  # paper potential: 34.24

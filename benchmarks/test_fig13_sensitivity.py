@@ -1,0 +1,66 @@
+"""Figure 13: sensitivity to mean query size and SLA latency target
+(Terabyte use-case).
+
+Paper shapes: MP-Rec's (and table-switching's) speedup over table-CPU
+grows with mean query size (more offload opportunity) and shrinks as the
+SLA target loosens toward 200 ms (even the CPU baseline keeps up).
+"""
+
+from conftest import fmt_row
+
+from repro.experiments.setup import run_serving_comparison
+from repro.models.configs import TERABYTE
+from repro.serving.workload import ServingScenario
+
+SUBSET = ("table-cpu", "mp-rec")
+N_QUERIES = 1200
+
+
+def mp_rec_factor(
+    mean_size: float, sla_s: float, qps: float, seed: int, compliant: bool = False
+) -> float:
+    scenario = ServingScenario.paper_default(
+        n_queries=N_QUERIES, mean_size=mean_size, qps=qps, sla_s=sla_s, seed=seed
+    )
+    results = run_serving_comparison(TERABYTE, scenario, subset=SUBSET)
+    metric = (
+        "compliant_correct_throughput" if compliant else "correct_prediction_throughput"
+    )
+    return getattr(results["mp-rec"], metric) / max(
+        getattr(results["table-cpu"], metric), 1e-9
+    )
+
+
+def sweep():
+    # Query-size sweep at the default 10 ms SLA / 1000 QPS.
+    size_series = {
+        size: mp_rec_factor(size, 0.010, 1000.0, seed=51) for size in (32, 128, 512)
+    }
+    # SLA sweep at a sustainable constant load; only SLA-compliant responses
+    # count (a late recommendation is worthless), so loosening the target
+    # lets the baseline catch up and the speedup decays toward 1.
+    sla_series = {
+        sla_ms: mp_rec_factor(128, sla_ms / 1e3, 250.0, seed=52, compliant=True)
+        for sla_ms in (10, 50, 200)
+    }
+    return size_series, sla_series
+
+
+def test_fig13_sensitivity(benchmark, record):
+    size_series, sla_series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["-- speedup vs mean query size (SLA 10 ms, 1000 QPS) --"]
+    for size, factor in size_series.items():
+        lines.append(fmt_row(f"mean_size={size}", speedup=factor))
+    lines.append("-- speedup vs SLA target (mean 128, 250 QPS, compliant-only) --")
+    for sla_ms, factor in sla_series.items():
+        lines.append(fmt_row(f"sla={sla_ms}ms", speedup=factor))
+    record("Figure 13: sensitivity studies (Terabyte)", lines)
+
+    # Larger queries -> more accelerator offload -> higher speedup.
+    sizes = sorted(size_series)
+    assert size_series[sizes[-1]] > size_series[sizes[0]]
+    # Looser SLA at sustainable load -> baseline keeps up -> speedup decays.
+    slas = sorted(sla_series)
+    assert sla_series[slas[0]] > sla_series[slas[-1]]
+    assert sla_series[slas[-1]] < 1.3  # at 200 ms even table-CPU keeps up

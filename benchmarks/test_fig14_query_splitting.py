@@ -1,0 +1,97 @@
+"""Figure 14: query splitting across CPU and GPU (Section 6.5).
+
+Paper shapes: for embedding tables, even splitting beats CPU-side
+execution (both memory systems engaged); for compute-intensive
+representations (DHE/hybrid), an even split forces CPU execution of the
+encoder-decoder stack and is detrimental — it needs careful ratio tuning.
+"""
+
+from conftest import fmt_row
+
+from repro.core.representations import paper_configs
+from repro.core.splitting import (
+    simulate_split_serving,
+    split_query_even,
+    split_query_tuned,
+)
+from repro.experiments.setup import run_serving_comparison
+from repro.hardware.catalog import CPU_BROADWELL, GPU_V100
+from repro.hardware.latency import path_latency
+from repro.models.configs import KAGGLE
+from repro.quality.estimator import QualityEstimator
+from repro.serving.workload import ServingScenario
+
+QUERY_SIZES = (512, 2048, 4096)
+
+
+def sweep():
+    configs = paper_configs(KAGGLE)
+    rows = {}
+    for rep_name in ("table", "dhe", "hybrid"):
+        rep = configs[rep_name]
+        for size in QUERY_SIZES:
+            even = split_query_even(rep, KAGGLE, CPU_BROADWELL, GPU_V100, size)
+            tuned = split_query_tuned(rep, KAGGLE, CPU_BROADWELL, GPU_V100, size)
+            rows[(rep_name, size)] = {
+                "cpu_only_ms": path_latency(rep, KAGGLE, CPU_BROADWELL, size) * 1e3,
+                "gpu_only_ms": path_latency(rep, KAGGLE, GPU_V100, size) * 1e3,
+                "even_split_ms": even.latency_s * 1e3,
+                "tuned_split_ms": tuned.latency_s * 1e3,
+                "tuned_ratio_cpu": tuned.ratio_on_first,
+            }
+    return rows
+
+
+def serving_level():
+    """The paper's serving framing: table splitting vs. the CPU-GPU
+    switching baseline, and split-DHE vs. everything."""
+    scenario = ServingScenario.paper_default(n_queries=1200, seed=101)
+    estimator = QualityEstimator("kaggle")
+    configs = paper_configs(KAGGLE)
+    out = {}
+    switch = run_serving_comparison(
+        KAGGLE, scenario, subset=("table-switch",)
+    )["table-switch"]
+    out["table-switch"] = switch.correct_prediction_throughput
+    for rep_name in ("table", "dhe"):
+        rep = configs[rep_name]
+        result = simulate_split_serving(
+            rep, KAGGLE, CPU_BROADWELL, GPU_V100, scenario,
+            accuracy=estimator.accuracy(rep), ratio_on_first=0.5,
+        )
+        out[f"split-{rep_name}"] = result.correct_prediction_throughput
+    return out
+
+
+def run_all():
+    return sweep(), serving_level()
+
+
+def test_fig14_query_splitting(benchmark, record):
+    rows, serving = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = []
+    for (rep_name, size), row in rows.items():
+        lines.append(fmt_row(f"{rep_name}@{size}", **row))
+    lines.append("-- serving level (correct predictions/s) --")
+    for name, tput in serving.items():
+        lines.append(fmt_row(name, ctput=tput))
+    record("Figure 14: query splitting", lines)
+
+    # Paper: even splitting of *tables* competes with the switching
+    # baseline, but splitting compute-heavy representations is detrimental.
+    assert serving["split-table"] > 0.5 * serving["table-switch"]
+    assert serving["split-dhe"] < serving["split-table"]
+
+    for size in QUERY_SIZES:
+        table = rows[("table", size)]
+        # Tables: even split beats CPU-only execution.
+        assert table["even_split_ms"] < table["cpu_only_ms"]
+        for rep_name in ("dhe", "hybrid"):
+            row = rows[(rep_name, size)]
+            # Compute stacks: even split is worse than GPU-only (the CPU
+            # half becomes the critical path) ...
+            assert row["even_split_ms"] > row["gpu_only_ms"]
+            # ... but a tuned ratio recovers (nearly all samples on GPU).
+            assert row["tuned_split_ms"] <= row["gpu_only_ms"] * 1.001
+            assert row["tuned_ratio_cpu"] < 0.25

@@ -1,0 +1,56 @@
+"""Figure 15: representation-switching breakdown of MP-Rec.
+
+Paper shapes: on Kaggle, TBL(CPU) is always present (small queries execute
+too fast to amortize GPU offload); on Terabyte, TBL(GPU) is always
+preferable to TBL(CPU); MP-Rec activates compute-based representations a
+substantial fraction of the time.
+"""
+
+from conftest import fmt_row
+
+from repro.experiments.setup import run_serving_comparison
+from repro.models.configs import KAGGLE, TERABYTE
+from repro.serving.workload import ServingScenario
+
+SUBSET = ("table-switch", "mp-rec")
+
+
+def run():
+    out = {}
+    for name, model, seed in (("kaggle", KAGGLE, 61), ("terabyte", TERABYTE, 62)):
+        scenario = ServingScenario.paper_default(n_queries=1500, seed=seed)
+        results = run_serving_comparison(model, scenario, subset=SUBSET)
+        out[name] = {
+            sched: res.switching_breakdown() for sched, res in results.items()
+        }
+    return out
+
+
+def test_fig15_switching_breakdown(benchmark, record):
+    breakdowns = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = []
+    for dataset, by_sched in breakdowns.items():
+        for sched, shares in by_sched.items():
+            lines.append(f"-- {dataset} / {sched} --")
+            for label, share in shares.items():
+                lines.append(fmt_row(label, share_pct=share * 100))
+    record("Figure 15: switching breakdown", lines)
+
+    kaggle_mp = breakdowns["kaggle"]["mp-rec"]
+    terabyte_mp = breakdowns["terabyte"]["mp-rec"]
+    # Kaggle keeps a TBL(CPU) share (small queries stay on the host).
+    assert kaggle_mp.get("TABLE(CPU)", 0.0) > 0.02
+    # Terabyte prefers TBL(GPU) over TBL(CPU) for table traffic.
+    assert terabyte_mp.get("TABLE(GPU)", 0.0) >= terabyte_mp.get("TABLE(CPU)", 0.0) * 0.8
+    # MP-Rec activates compute-based paths (the whole point).
+    for shares in (kaggle_mp, terabyte_mp):
+        compute_share = sum(
+            share for label, share in shares.items()
+            if label.startswith(("DHE", "HYBRID"))
+        )
+        assert compute_share > 0.2
+    # The table-switch baseline on Kaggle splits traffic across devices.
+    kaggle_switch = breakdowns["kaggle"]["table-switch"]
+    assert kaggle_switch.get("TABLE(CPU)", 0.0) > 0.1
+    assert kaggle_switch.get("TABLE(GPU)", 0.0) > 0.1

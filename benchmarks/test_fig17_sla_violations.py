@@ -1,0 +1,61 @@
+"""Figure 17: SLA latency-target violations at constant throughput.
+
+Paper: at 400 QPS and a 10 ms target, static table-CPU violates on 30.73%
+of queries while MP-Rec violates on 3.14% (a 27.59 pp improvement); static
+DHE/hybrid violate on ~100%. Violations fall for every scheduler as the
+target loosens.
+"""
+
+from conftest import fmt_row
+
+from repro.experiments.setup import run_serving_comparison
+from repro.models.configs import KAGGLE
+from repro.serving.workload import ServingScenario
+
+QPS = 400.0
+SLA_MS = (10, 25, 50, 100, 200)
+SUBSET = ("table-cpu", "dhe-gpu", "hybrid-gpu", "mp-rec")
+PAPER_AT_10MS = {"table-cpu": 30.73, "mp-rec": 3.14, "dhe-gpu": 100.0}
+
+
+def sweep():
+    rows = {}
+    for sla_ms in SLA_MS:
+        scenario = ServingScenario.paper_default(
+            n_queries=1500, qps=QPS, sla_s=sla_ms / 1e3, seed=71
+        )
+        results = run_serving_comparison(KAGGLE, scenario, subset=SUBSET)
+        rows[sla_ms] = {
+            name: res.violation_rate * 100 for name, res in results.items()
+        }
+    return rows
+
+
+def test_fig17_sla_violations(benchmark, record):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [f"constant load: {QPS:.0f} QPS (paper anchors at 10 ms: "
+             f"table-CPU 30.73%, MP-Rec 3.14%, static DHE ~100%)"]
+    for sla_ms, by_sched in rows.items():
+        lines.append(f"-- SLA {sla_ms} ms --")
+        for name, pct in by_sched.items():
+            lines.append(fmt_row(name, violations_pct=pct))
+    record("Figure 17: SLA violations at constant throughput", lines)
+
+    at_10 = rows[10]
+    # Static compute representations violate on essentially every query.
+    assert at_10["dhe-gpu"] > 90
+    assert at_10["hybrid-gpu"] > 90
+    # Table-CPU violates on a sizable fraction; MP-Rec cuts it sharply.
+    assert at_10["table-cpu"] > 10
+    assert at_10["mp-rec"] < at_10["table-cpu"] / 2
+    # Improvement in the paper's ballpark (27.59 pp).
+    improvement = at_10["table-cpu"] - at_10["mp-rec"]
+    assert improvement > 10
+    # MP-Rec dominates table-CPU across the target range.
+    for sla_ms in SLA_MS:
+        assert rows[sla_ms]["mp-rec"] <= rows[sla_ms]["table-cpu"] + 1.0
+    # Violations are non-increasing as targets loosen.
+    for name in SUBSET:
+        series = [rows[sla_ms][name] for sla_ms in SLA_MS]
+        assert all(b <= a + 1.0 for a, b in zip(series, series[1:])), name

@@ -1,0 +1,52 @@
+"""Figure 18 / Section 6.9: multi-node scaling analysis (ZionEX model).
+
+Paper: on a 128-GPU (16-node) ZionEX system, exposed inter-node
+communication is ~40% of training time; replacing tables with DHE (334x
+compression -> single-node residency) removes it for a ~36% total-time
+reduction at the cost of extra DHE compute.
+"""
+
+from conftest import fmt_row
+
+from repro.analysis.scaling import ZionEXModel
+
+WORKLOAD = dict(
+    batch_per_iter=65536,
+    model_flops_per_sample=25e6,
+    embedding_vector_bytes=26 * 64 * 4,
+    dense_grad_bytes=30e6,
+)
+NODES = (1, 2, 4, 8, 16)
+
+
+def sweep():
+    model = ZionEXModel()
+    return {n: model.compare(n_nodes=n, **WORKLOAD) for n in NODES}
+
+
+def test_fig18_scaling(benchmark, record):
+    comparisons = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["paper anchors: comm ~40% of training; 36% reduction at 128 GPUs"]
+    for n, cmp in comparisons.items():
+        lines.append(
+            fmt_row(
+                f"{n} nodes ({n * 8} GPUs)",
+                table_ms=cmp.table_time_per_iter_s * 1e3,
+                dhe_ms=cmp.dhe_time_per_iter_s * 1e3,
+                comm_frac=cmp.table_comm_fraction,
+                reduction=cmp.time_reduction,
+            )
+        )
+    record("Figure 18: multi-node scaling (ZionEX analytical model)", lines)
+
+    at_16 = comparisons[16]
+    # Communication fraction near the paper's ~40%.
+    assert 0.25 < at_16.table_comm_fraction < 0.55
+    # Total-time reduction near the paper's ~36%.
+    assert 0.25 < at_16.time_reduction < 0.50
+    # Single node: DHE's extra compute is pure cost (no comm to remove).
+    assert comparisons[1].time_reduction < 0
+    # The benefit grows with scale (comm share rises).
+    reductions = [comparisons[n].time_reduction for n in NODES]
+    assert reductions == sorted(reductions)

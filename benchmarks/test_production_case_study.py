@@ -1,0 +1,81 @@
+"""Section 6.1 production case study on the internal-like workload.
+
+Paper: replacing the internal table-based model's embeddings with DHE
+yields a noticeable compression ratio; hybrid improves accuracy by 0.014%;
+DHE's extra FLOPs cost 23.59% throughput.
+"""
+
+from conftest import fmt_row
+
+from repro.core.online import StaticScheduler
+from repro.core.profiler import make_path
+from repro.core.representations import RepresentationConfig
+from repro.data.internal_like import INTERNAL_LIKE
+from repro.hardware.catalog import GPU_V100
+from repro.quality.estimator import QualityEstimator
+from repro.serving.simulator import ServingSimulator
+from repro.serving.workload import ServingScenario
+
+
+def run_case_study():
+    estimator = QualityEstimator("internal")
+    dim = INTERNAL_LIKE.embedding_dim
+    # Production stacks are tuned per use-case; with 64 sparse features the
+    # deployed DHE is lighter than the Criteo characterization stack (the
+    # paper reports only a 23.59% throughput cost, which bounds the stack).
+    configs = {
+        "table": RepresentationConfig("table", dim, label="table-prod"),
+        "dhe": RepresentationConfig(
+            "dhe", dim, k=2048, dnn=32, h=2, label="dhe-prod"
+        ),
+        "hybrid": RepresentationConfig(
+            "hybrid", dim + dim // 2, k=2048, dnn=32, h=2,
+            table_dim=dim, dhe_dim=dim // 2, label="hybrid-prod",
+        ),
+    }
+    # Saturating load: the 23.59% figure is a capacity loss, only
+    # visible when the device is the bottleneck.
+    scenario = ServingScenario.paper_default(n_queries=1200, qps=2000.0, seed=81)
+
+    rows = {}
+    for rep_name in ("table", "dhe", "hybrid"):
+        rep = configs[rep_name]
+        path = make_path(
+            rep, INTERNAL_LIKE, GPU_V100, estimator.accuracy(rep),
+            label=rep_name.upper(),
+        )
+        result = ServingSimulator(
+            StaticScheduler([path]), track_energy=False
+        ).run(scenario)
+        rows[rep_name] = {
+            "accuracy": estimator.accuracy(rep),
+            "footprint_gb": rep.embedding_bytes(INTERNAL_LIKE) / 1e9,
+            "raw_tput": result.raw_throughput,
+        }
+    return rows
+
+
+def test_production_case_study(benchmark, record):
+    rows = benchmark.pedantic(run_case_study, rounds=1, iterations=1)
+
+    compression = rows["table"]["footprint_gb"] / rows["dhe"]["footprint_gb"]
+    hybrid_gain = rows["hybrid"]["accuracy"] - rows["table"]["accuracy"]
+    tput_loss = 1.0 - rows["dhe"]["raw_tput"] / rows["table"]["raw_tput"]
+
+    lines = [
+        fmt_row("table", **rows["table"]),
+        fmt_row("dhe", **rows["dhe"]),
+        fmt_row("hybrid", **rows["hybrid"]),
+        fmt_row("derived", compression=compression,
+                hybrid_gain_pct=hybrid_gain, dhe_tput_loss=tput_loss),
+        "paper anchors: noticeable compression; +0.014% hybrid accuracy; "
+        "-23.59% DHE throughput",
+    ]
+    record("Production case study (internal-like workload)", lines)
+
+    # Noticeable model compression from DHE.
+    assert compression > 20
+    # Hybrid's accuracy gain is the same order as the paper's +0.014%.
+    assert 0.004 < hybrid_gain < 0.03
+    # DHE costs throughput, in the ballpark of the paper's 23.59%.
+    assert 0.10 < tput_loss < 0.45

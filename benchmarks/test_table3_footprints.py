@@ -1,0 +1,51 @@
+"""Table 3: memory footprints for HW-1.
+
+Paper (embedding weights):   Table     DHE      Hybrid    MP-Rec
+  Kaggle                     2.16 GB   126 MB   2.29 GB   4.58 GB
+  Terabyte                   12.58 GB  123 MB   12.70 GB  25.41 GB
+"""
+
+from conftest import fmt_row
+
+from repro.core.offline import OfflinePlanner
+from repro.core.representations import paper_configs
+from repro.experiments.setup import hw1_devices
+from repro.models.configs import KAGGLE, TERABYTE
+from repro.quality.estimator import QualityEstimator
+
+PAPER_GB = {
+    "kaggle": {"table": 2.16, "dhe": 0.126, "hybrid": 2.29, "mp-rec": 4.58},
+    "terabyte": {"table": 12.58, "dhe": 0.123, "hybrid": 12.70, "mp-rec": 25.41},
+}
+
+
+def compute_footprints():
+    out = {}
+    for name, model in (("kaggle", KAGGLE), ("terabyte", TERABYTE)):
+        configs = paper_configs(model)
+        row = {
+            rep_name: configs[rep_name].embedding_bytes(model) / 1e9
+            for rep_name in ("table", "dhe", "hybrid")
+        }
+        plan = OfflinePlanner(model, QualityEstimator(name)).plan(hw1_devices())
+        row["mp-rec"] = sum(
+            rep.embedding_bytes(model) for rep in plan.unique_reps()
+        ) / 1e9
+        out[name] = row
+    return out
+
+
+def test_table3_footprints(benchmark, record):
+    footprints = benchmark.pedantic(compute_footprints, rounds=1, iterations=1)
+
+    lines = []
+    for dataset, row in footprints.items():
+        lines.append(f"-- {dataset} (GB) --")
+        for rep_name, gb in row.items():
+            lines.append(fmt_row(rep_name, measured=gb, paper=PAPER_GB[dataset][rep_name]))
+    record("Table 3: memory footprints", lines)
+
+    for dataset, row in footprints.items():
+        for rep_name, gb in row.items():
+            paper = PAPER_GB[dataset][rep_name]
+            assert abs(gb - paper) / paper < 0.10, (dataset, rep_name, gb)

@@ -1,0 +1,61 @@
+"""Characterize embedding representations across hardware platforms
+(the Section 3 design-space exploration, Figures 5 and 7).
+
+    python examples/accelerator_characterization.py
+"""
+
+from repro.analysis.breakdown import breakdown_table, slowdown_vs
+from repro.core.representations import RepresentationConfig, paper_configs
+from repro.hardware.catalog import DEVICE_CATALOG, CPU_BROADWELL, GPU_V100
+from repro.hardware.energy import energy_per_query
+from repro.hardware.latency import estimate_breakdown
+from repro.hardware.topology import plan_ipu_placement
+from repro.models.configs import KAGGLE
+
+
+def operator_breakdowns() -> None:
+    print("=== Operator breakdown (Kaggle, batch 2048) ===")
+    stack = dict(k=1024, dnn=128, h=2)
+    reps = {
+        "table": RepresentationConfig("table", 16),
+        "dhe": RepresentationConfig("dhe", 16, **stack),
+        "select": RepresentationConfig("select", 16, n_dhe_features=3, **stack),
+        "hybrid": RepresentationConfig("hybrid", 24, table_dim=16, dhe_dim=8, **stack),
+    }
+    for device in (CPU_BROADWELL, GPU_V100):
+        breakdowns = breakdown_table(reps, KAGGLE, device, 2048)
+        slowdowns = slowdown_vs(breakdowns, "table")
+        print(f"\n  {device.name}")
+        for name, bd in breakdowns.items():
+            print(
+                f"    {name:7s} {bd.total * 1e3:8.2f} ms ({slowdowns[name]:5.2f}x)"
+                f"  embed {bd.embedding * 1e3:7.3f}  enc+dec "
+                f"{(bd.encoder + bd.decoder) * 1e3:8.3f}  dense {bd.dense_compute * 1e3:7.3f}"
+            )
+
+
+def accelerator_sweep() -> None:
+    print("\n=== Accelerator throughput & energy (query size 128) ===")
+    configs = paper_configs(KAGGLE)
+    base = None
+    for rep_name in ("table", "dhe", "hybrid"):
+        rep = configs[rep_name]
+        print(f"\n  {rep_name}:")
+        for device in DEVICE_CATALOG.values():
+            spec = device
+            if device.kind == "ipu" and device.n_chips > 1:
+                spec = plan_ipu_placement(rep.embedding_bytes(KAGGLE), device).device
+            bd = estimate_breakdown(rep, KAGGLE, spec, 128)
+            throughput = spec.concurrency * 128 / bd.total
+            if base is None:
+                base = throughput
+            energy_mj = energy_per_query(spec, bd) / 128 * 1e3
+            print(
+                f"    {device.name:14s} {throughput / base:7.2f}x vs table-CPU"
+                f"  ({bd.total * 1e3:6.2f} ms, {energy_mj:7.3f} mJ/sample)"
+            )
+
+
+if __name__ == "__main__":
+    operator_breakdowns()
+    accelerator_sweep()

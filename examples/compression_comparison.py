@@ -1,0 +1,73 @@
+"""Compare compressed embedding representations: DHE vs. TT-Rec vs. table.
+
+The paper picks DHE over TT-Rec for its tunable encoder-decoder stacks
+(Section 2.2). This example puts both on the same footing: Kaggle-scale
+capacity/FLOPs plus a real mini-scale training comparison.
+
+    python examples/compression_comparison.py
+"""
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticCTRDataset
+from repro.embeddings.costs import dhe_bytes, dhe_flops_per_lookup, table_bytes
+from repro.embeddings.ttrec import TTEmbedding, tt_bytes
+from repro.models.configs import KAGGLE, ModelConfig
+from repro.models.dlrm import build_dlrm
+from repro.training.trainer import Trainer
+
+MINI = ModelConfig(
+    name="compress-mini",
+    n_dense=8,
+    cardinalities=[80, 300, 1200, 50],
+    embedding_dim=8,
+    bottom_mlp=[24],
+    top_mlp=[24],
+)
+
+
+def capacity_report() -> None:
+    print("=== Kaggle-scale embedding footprints (26 tables, dim 16) ===")
+    dim = KAGGLE.embedding_dim
+    dense = sum(table_bytes(rows, dim) for rows in KAGGLE.cardinalities)
+    print(f"  dense table             {dense / 1e9:8.3f} GB")
+    for rank in (4, 8, 16, 32):
+        total = sum(tt_bytes(rows, dim, rank) for rows in KAGGLE.cardinalities)
+        rng = np.random.default_rng(0)
+        flops = TTEmbedding(10_131_227, dim, rank, rng).flops_per_lookup()
+        print(
+            f"  TT-Rec rank {rank:3d}        {total / 1e6:8.1f} MB"
+            f"  ({dense / total:7.0f}x, {flops:,} FLOPs/lookup)"
+        )
+    for k, dnn, h in ((256, 128, 1), (1024, 256, 2), (2048, 480, 2)):
+        total = 26 * dhe_bytes(k, dnn, h, dim)
+        flops = dhe_flops_per_lookup(k, dnn, h, dim)
+        print(
+            f"  DHE k={k:4d} w={dnn:3d} h={h}  {total / 1e6:8.1f} MB"
+            f"  ({dense / total:7.0f}x, {flops:,} FLOPs/lookup)"
+        )
+
+
+def training_report() -> None:
+    print("\n=== Mini-scale real training (200 steps, 2 seeds) ===")
+    for rep, kwargs in (
+        ("table", {}),
+        ("ttrec", dict(tt_rank=4)),
+        ("dhe", dict(k=32, dnn=32, h=1)),
+        ("hybrid", dict(k=32, dnn=32, h=1)),
+    ):
+        aucs = []
+        for seed in (0, 1):
+            rng = np.random.default_rng(seed)
+            model = build_dlrm(MINI, rep, rng, **kwargs)
+            dataset = SyntheticCTRDataset(MINI, seed=11, latent_dim=4)
+            result = Trainer(model, dataset, lr=0.1).train(
+                n_steps=200, batch_size=128, eval_samples=4000
+            )
+            aucs.append(result.eval_auc)
+        print(f"  {rep:7s} AUC {np.mean(aucs):.4f} (+/- {np.std(aucs):.4f})")
+
+
+if __name__ == "__main__":
+    capacity_report()
+    training_report()

@@ -1,0 +1,70 @@
+"""Quickstart: train DLRM with each embedding representation, then let
+MP-Rec plan and serve.
+
+Runs in under a minute on a laptop — model sizes are the ``*_MINI``
+configurations (real Criteo cardinalities capped at 1000 rows/table).
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import KAGGLE_MINI, Trainer, build_dlrm, make_dataset
+from repro.core.offline import OfflinePlanner
+from repro.core.online import MultiPathScheduler
+from repro.experiments.setup import default_cache_effect, hw1_devices
+from repro.core.representations import paper_configs
+from repro.models.configs import KAGGLE
+from repro.quality.estimator import QualityEstimator
+from repro.serving.simulator import ServingSimulator
+from repro.serving.workload import ServingScenario
+
+
+def train_each_representation() -> None:
+    print("=== 1. Training DLRM variants on synthetic Criteo-shaped data ===")
+    dataset = make_dataset(KAGGLE_MINI, seed=7)
+    for rep in ("table", "dhe", "select", "hybrid"):
+        rng = np.random.default_rng(0)
+        model = build_dlrm(KAGGLE_MINI, rep, rng, k=32, dnn=32, h=1)
+        trainer = Trainer(model, dataset, lr=0.1)
+        result = trainer.train(n_steps=60, batch_size=128, eval_samples=2048)
+        print(
+            f"  {rep:7s} loss {result.losses[0]:.4f} -> {result.final_loss:.4f}"
+            f"  accuracy {result.eval_accuracy:.4f}  AUC {result.eval_auc:.4f}"
+            f"  params {model.num_parameters():,}"
+        )
+
+
+def plan_and_serve() -> None:
+    print("\n=== 2. MP-Rec offline planning on HW-1 (paper-scale configs) ===")
+    estimator = QualityEstimator("kaggle")
+    plan = OfflinePlanner(KAGGLE, estimator).plan(hw1_devices())
+    for device_name, reps in plan.mappings.items():
+        for rep in reps:
+            print(
+                f"  {device_name:14s} <- {rep.display:22s}"
+                f" {rep.total_bytes(KAGGLE) / 1e9:6.2f} GB"
+                f"  acc {plan.accuracies[rep.display]:.2f}%"
+            )
+
+    print("\n=== 3. Serving 2000 queries (10 ms SLA, 1000 QPS) ===")
+    effect = default_cache_effect(KAGGLE, paper_configs(KAGGLE)["dhe"])
+    paths = plan.build_paths(
+        encoder_hit_rate=effect.encoder_hit_rate,
+        decoder_speedup=effect.decoder_speedup,
+    )
+    scheduler = MultiPathScheduler(paths)
+    scenario = ServingScenario.paper_default(n_queries=2000)
+    result = ServingSimulator(scheduler, track_energy=False).run(scenario)
+    print(f"  correct predictions/s : {result.correct_prediction_throughput:,.0f}")
+    print(f"  served accuracy       : {result.mean_accuracy:.3f}%")
+    print(f"  SLA violations        : {result.violation_rate * 100:.2f}%")
+    print(f"  p99 latency           : {result.p99_latency_s * 1e3:.2f} ms")
+    print("  path activation:")
+    for label, share in result.switching_breakdown().items():
+        print(f"    {label:14s} {share * 100:5.1f}%")
+
+
+if __name__ == "__main__":
+    train_each_representation()
+    plan_and_serve()

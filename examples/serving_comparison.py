@@ -1,0 +1,47 @@
+"""Reproduce the Figure 10 experiment interactively: compare static
+deployments, table CPU-GPU switching, and MP-Rec on both Criteo use-cases.
+
+    python examples/serving_comparison.py [--queries 2000]
+"""
+
+import argparse
+
+from repro.experiments.setup import run_serving_comparison
+from repro.models.configs import KAGGLE, TERABYTE
+from repro.serving.workload import ServingScenario
+
+SUBSET = ("table-cpu", "table-gpu", "dhe-gpu", "hybrid-gpu", "table-switch", "mp-rec")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--queries", type=int, default=2000)
+    parser.add_argument("--qps", type=float, default=1000.0)
+    parser.add_argument("--sla-ms", type=float, default=10.0)
+    args = parser.parse_args()
+
+    for model in (KAGGLE, TERABYTE):
+        scenario = ServingScenario.paper_default(
+            n_queries=args.queries, qps=args.qps, sla_s=args.sla_ms / 1e3
+        )
+        print(f"\n=== {model.name} ({args.queries} queries, "
+              f"{args.qps:.0f} QPS, {args.sla_ms:.0f} ms SLA) ===")
+        results = run_serving_comparison(model, scenario, subset=SUBSET)
+        base = results["table-cpu"].correct_prediction_throughput
+        header = (
+            f"{'deployment':14s} {'correct/s':>12s} {'factor':>7s} "
+            f"{'accuracy':>9s} {'viol%':>6s} {'p99 ms':>7s}"
+        )
+        print(header)
+        print("-" * len(header))
+        for name, res in results.items():
+            print(
+                f"{name:14s} {res.correct_prediction_throughput:12,.0f} "
+                f"{res.correct_prediction_throughput / base:6.2f}x "
+                f"{res.mean_accuracy:8.3f}% {res.violation_rate * 100:5.1f}% "
+                f"{res.p99_latency_s * 1e3:7.1f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This environment is offline and lacks the ``wheel`` package, so
+``pip install -e .`` cannot build an editable wheel. ``python setup.py
+develop`` performs the equivalent editable install with what is available.
+Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

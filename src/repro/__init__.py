@@ -1,0 +1,30 @@
+"""repro — a full reproduction of MP-Rec (ASPLOS 2023).
+
+Multi-Path Recommendation: hardware-software co-design that pairs embedding
+representations (table / DHE / select / hybrid) with heterogeneous hardware
+(CPU / GPU / TPU / IPU) and schedules inference queries across the resulting
+execution paths to maximize throughput of correct predictions under SLA
+latency targets.
+
+Top-level convenience imports cover the quickstart path; subpackages hold
+the full API (see DESIGN.md for the system inventory).
+"""
+
+__version__ = "1.0.0"
+
+from repro.models import DLRM, build_dlrm, KAGGLE, TERABYTE, KAGGLE_MINI, TERABYTE_MINI
+from repro.data import make_dataset, generate_query_set
+from repro.training import Trainer
+
+__all__ = [
+    "DLRM",
+    "build_dlrm",
+    "KAGGLE",
+    "TERABYTE",
+    "KAGGLE_MINI",
+    "TERABYTE_MINI",
+    "make_dataset",
+    "generate_query_set",
+    "Trainer",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Analysis helpers: operator breakdowns and multi-node scaling models."""
+
+from repro.analysis.breakdown import breakdown_table, slowdown_vs
+from repro.analysis.scaling import ZionEXModel, ScalingComparison
+from repro.analysis.sharding import ShardingPlan, greedy_shard, round_robin_shard
+
+__all__ = [
+    "breakdown_table",
+    "slowdown_vs",
+    "ZionEXModel",
+    "ScalingComparison",
+    "ShardingPlan",
+    "greedy_shard",
+    "round_robin_shard",
+]

@@ -1,0 +1,31 @@
+"""Operator-breakdown tables (Figure 5)."""
+
+from __future__ import annotations
+
+from repro.core.representations import RepresentationConfig
+from repro.hardware.device import DeviceSpec
+from repro.hardware.latency import OperatorBreakdown, estimate_breakdown
+from repro.models.configs import ModelConfig
+
+
+def breakdown_table(
+    reps: dict[str, RepresentationConfig],
+    model: ModelConfig,
+    device: DeviceSpec,
+    batch_size: int,
+) -> dict[str, OperatorBreakdown]:
+    """Per-representation operator breakdowns on one device."""
+    return {
+        name: estimate_breakdown(rep, model, device, batch_size)
+        for name, rep in reps.items()
+    }
+
+
+def slowdown_vs(
+    breakdowns: dict[str, OperatorBreakdown], baseline: str = "table"
+) -> dict[str, float]:
+    """Total-latency slowdown of each representation vs. the baseline."""
+    if baseline not in breakdowns:
+        raise KeyError(f"baseline {baseline!r} missing from breakdowns")
+    base = breakdowns[baseline].total
+    return {name: bd.total / base for name, bd in breakdowns.items()}

@@ -1,0 +1,55 @@
+"""Plain-text figure rendering: ASCII bar charts and aligned tables.
+
+Benchmarks and examples regenerate the paper's figures as text; these
+helpers keep that output legible without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+
+def bar_chart(
+    values: dict[str, float],
+    width: int = 40,
+    unit: str = "",
+    reference: str | None = None,
+) -> list[str]:
+    """Horizontal ASCII bars, optionally normalized to a reference key."""
+    if not values:
+        return []
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar_chart values must be non-negative")
+    scale = max(values.values()) or 1.0
+    label_width = max(len(k) for k in values)
+    ref = values.get(reference) if reference else None
+    lines = []
+    for key, value in values.items():
+        bar = "#" * max(1 if value > 0 else 0, round(value / scale * width))
+        suffix = f" {value:.4g}{unit}"
+        if ref:
+            suffix += f" ({value / ref:.2f}x)"
+        lines.append(f"{key:<{label_width}} |{bar:<{width}}|{suffix}")
+    return lines
+
+
+def table(rows: list[dict[str, object]], float_fmt: str = ".4g") -> list[str]:
+    """Aligned text table from a list of same-keyed dicts."""
+    if not rows:
+        return []
+    headers = list(rows[0])
+    rendered = [
+        {
+            h: (format(v, float_fmt) if isinstance(v, float) else str(v))
+            for h, v in row.items()
+        }
+        for row in rows
+    ]
+    widths = {
+        h: max(len(h), *(len(r[h]) for r in rendered)) for h in headers
+    }
+    lines = [
+        "  ".join(h.ljust(widths[h]) for h in headers),
+        "  ".join("-" * widths[h] for h in headers),
+    ]
+    for row in rendered:
+        lines.append("  ".join(row[h].ljust(widths[h]) for h in headers))
+    return lines

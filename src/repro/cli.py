@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's main entry points:
+
+- ``train``        — train a DLRM variant on synthetic Criteo-shaped data.
+- ``plan``         — run the MP-Rec offline stage (Algorithm 1) and print
+                     the representation-hardware mappings.
+- ``serve``        — simulate query serving under a chosen scheduler.
+- ``characterize`` — operator breakdowns across representations/devices.
+- ``generate-data``— write a Criteo-format TSV from the synthetic model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+DATASETS = {}
+
+
+def _datasets():
+    from repro.data.internal_like import INTERNAL_LIKE
+    from repro.models.configs import KAGGLE, KAGGLE_MINI, TERABYTE, TERABYTE_MINI
+
+    return {
+        "kaggle": KAGGLE,
+        "terabyte": TERABYTE,
+        "kaggle-mini": KAGGLE_MINI,
+        "terabyte-mini": TERABYTE_MINI,
+        "internal-like": INTERNAL_LIKE,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MP-Rec reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a DLRM variant")
+    train.add_argument("--dataset", default="kaggle-mini", choices=sorted(_datasets()))
+    train.add_argument(
+        "--representation", default="table",
+        choices=["table", "dhe", "select", "hybrid", "ttrec"],
+    )
+    train.add_argument("--steps", type=int, default=100)
+    train.add_argument("--batch-size", type=int, default=128)
+    train.add_argument("--lr", type=float, default=0.1)
+    train.add_argument("--k", type=int, default=32)
+    train.add_argument("--dnn", type=int, default=32)
+    train.add_argument("--height", type=int, default=1)
+    train.add_argument("--seed", type=int, default=0)
+
+    plan = sub.add_parser("plan", help="run the offline stage (Algorithm 1)")
+    plan.add_argument("--dataset", default="kaggle", choices=["kaggle", "terabyte"])
+    plan.add_argument("--hw", default="hw1", choices=["hw1", "hw2"])
+
+    serve = sub.add_parser("serve", help="simulate query serving")
+    serve.add_argument("--dataset", default="kaggle", choices=["kaggle", "terabyte"])
+    serve.add_argument(
+        "--scheduler", default="mp-rec",
+        choices=["mp-rec", "table-cpu", "table-gpu", "dhe-gpu", "hybrid-gpu",
+                 "table-switch"],
+    )
+    serve.add_argument("--queries", type=int, default=1000)
+    serve.add_argument("--qps", type=float, default=1000.0)
+    serve.add_argument("--sla-ms", type=float, default=10.0)
+    serve.add_argument("--seed", type=int, default=0)
+
+    char = sub.add_parser("characterize", help="operator breakdowns")
+    char.add_argument("--dataset", default="kaggle", choices=["kaggle", "terabyte"])
+    char.add_argument("--batch", type=int, default=2048)
+
+    gen = sub.add_parser("generate-data", help="write a Criteo-format TSV")
+    gen.add_argument("--out", required=True)
+    gen.add_argument("--dataset", default="kaggle-mini", choices=sorted(_datasets()))
+    gen.add_argument("--rows", type=int, default=10_000)
+    gen.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def cmd_train(args) -> int:
+    from repro.data.synthetic import SyntheticCTRDataset
+    from repro.models.dlrm import build_dlrm
+    from repro.training.trainer import Trainer
+
+    config = _datasets()[args.dataset]
+    rng = np.random.default_rng(args.seed)
+    model = build_dlrm(
+        config, args.representation, rng, k=args.k, dnn=args.dnn, h=args.height
+    )
+    dataset = SyntheticCTRDataset(config, seed=args.seed)
+    trainer = Trainer(model, dataset, lr=args.lr)
+    result = trainer.train(n_steps=args.steps, batch_size=args.batch_size)
+    print(f"representation : {args.representation}")
+    print(f"parameters     : {model.num_parameters():,}")
+    print(f"loss           : {result.losses[0]:.4f} -> {result.final_loss:.4f}")
+    print(f"accuracy       : {result.eval_accuracy:.4f}")
+    print(f"auc            : {result.eval_auc:.4f}")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from repro.core.offline import OfflinePlanner
+    from repro.experiments.setup import hw1_devices, hw2_devices
+    from repro.quality.estimator import QualityEstimator
+
+    config = _datasets()[args.dataset]
+    devices = hw1_devices() if args.hw == "hw1" else hw2_devices()
+    plan = OfflinePlanner(config, QualityEstimator(args.dataset)).plan(devices)
+    for device_name, reps in plan.mappings.items():
+        print(f"{device_name} ({plan.device_bytes(device_name) / 1e9:.3f} GB used):")
+        for rep in reps:
+            print(
+                f"  {rep.display:24s} {rep.total_bytes(config) / 1e9:8.3f} GB"
+                f"   acc {plan.accuracies[rep.display]:.3f}%"
+            )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.experiments.setup import run_serving_comparison
+    from repro.serving.workload import ServingScenario
+
+    config = _datasets()[args.dataset]
+    scenario = ServingScenario.paper_default(
+        n_queries=args.queries, qps=args.qps, sla_s=args.sla_ms / 1e3,
+        seed=args.seed,
+    )
+    results = run_serving_comparison(config, scenario, subset=(args.scheduler,))
+    result = results[args.scheduler]
+    print(f"scheduler              : {args.scheduler}")
+    print(f"correct predictions/s  : {result.correct_prediction_throughput:,.0f}")
+    print(f"raw samples/s          : {result.raw_throughput:,.0f}")
+    print(f"served accuracy        : {result.mean_accuracy:.3f}%")
+    print(f"SLA violations         : {result.violation_rate * 100:.2f}%")
+    print(f"p99 latency            : {result.p99_latency_s * 1e3:.2f} ms")
+    for label, share in result.switching_breakdown().items():
+        print(f"  {label:16s} {share * 100:5.1f}%")
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    from repro.analysis.breakdown import breakdown_table, slowdown_vs
+    from repro.core.representations import paper_configs
+    from repro.hardware.catalog import CPU_BROADWELL, GPU_V100
+
+    config = _datasets()[args.dataset]
+    reps = {
+        name: rep
+        for name, rep in paper_configs(config).items()
+        if name != "dhe_compact"
+    }
+    for device in (CPU_BROADWELL, GPU_V100):
+        breakdowns = breakdown_table(reps, config, device, args.batch)
+        slowdowns = slowdown_vs(breakdowns, "table")
+        print(f"{device.name} (batch {args.batch}):")
+        for name, bd in breakdowns.items():
+            print(
+                f"  {name:8s} {bd.total * 1e3:10.3f} ms ({slowdowns[name]:6.2f}x)"
+            )
+    return 0
+
+
+def cmd_generate_data(args) -> int:
+    from repro.data.criteo import write_criteo_file
+
+    config = _datasets()[args.dataset]
+    path = write_criteo_file(args.out, config, n_rows=args.rows, seed=args.seed)
+    print(f"wrote {args.rows} rows to {path}")
+    return 0
+
+
+_COMMANDS = {
+    "train": cmd_train,
+    "plan": cmd_plan,
+    "serve": cmd_serve,
+    "characterize": cmd_characterize,
+    "generate-data": cmd_generate_data,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Clustering substrate for MP-Cache's decoder tier."""
+
+from repro.clustering.kmeans import KMeans
+from repro.clustering.knn import nearest_centroid, normalize_rows
+
+__all__ = ["KMeans", "nearest_centroid", "normalize_rows"]

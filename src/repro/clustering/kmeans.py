@@ -1,0 +1,109 @@
+"""k-means with k-means++ initialization, written on numpy.
+
+MP-Cache's decoder tier profiles the intermediate dense vectors produced by
+the encoder stack and represents their distribution with N centroids
+(Section 4.3); this is the clustering engine that builds those centroids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KMeans:
+    def __init__(
+        self,
+        n_clusters: int,
+        max_iter: int = 50,
+        tol: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters <= 0:
+            raise ValueError("n_clusters must be positive")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.centroids: np.ndarray | None = None
+        self.inertia: float = float("inf")
+        self.n_iter: int = 0
+
+    def fit(self, points: np.ndarray) -> "KMeans":
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError("points must be [n, dim]")
+        n = points.shape[0]
+        if n < self.n_clusters:
+            raise ValueError(
+                f"need >= {self.n_clusters} points, got {n}"
+            )
+        rng = np.random.default_rng(self.seed)
+        centroids = self._init_plus_plus(points, rng)
+        prev_inertia = float("inf")
+        for iteration in range(self.max_iter):
+            labels, dists = self._assign(points, centroids)
+            inertia = float(dists.sum())
+            for c in range(self.n_clusters):
+                members = points[labels == c]
+                if len(members):
+                    centroids[c] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the farthest point.
+                    centroids[c] = points[int(np.argmax(dists))]
+            self.n_iter = iteration + 1
+            if prev_inertia - inertia <= self.tol * max(prev_inertia, 1e-12):
+                break
+            prev_inertia = inertia
+        self.centroids = centroids
+        labels, dists = self._assign(points, centroids)
+        self.inertia = float(dists.sum())
+        return self
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        if self.centroids is None:
+            raise RuntimeError("fit() must be called before predict()")
+        labels, _ = self._assign(np.asarray(points, dtype=np.float64), self.centroids)
+        return labels
+
+    def transform_to_centroids(self, points: np.ndarray) -> np.ndarray:
+        """Replace each point with its nearest centroid (the cache's output)."""
+        if self.centroids is None:
+            raise RuntimeError("fit() must be called before transform")
+        return self.centroids[self.predict(points)]
+
+    # ------------------------------------------------------------------
+
+    def _init_plus_plus(
+        self, points: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        n = points.shape[0]
+        centroids = np.empty((self.n_clusters, points.shape[1]))
+        centroids[0] = points[rng.integers(n)]
+        closest_sq = _sq_dists(points, centroids[0][None, :]).ravel()
+        for c in range(1, self.n_clusters):
+            total = closest_sq.sum()
+            if total <= 0:
+                centroids[c:] = points[rng.integers(n, size=self.n_clusters - c)]
+                break
+            probs = closest_sq / total
+            idx = rng.choice(n, p=probs)
+            centroids[c] = points[idx]
+            closest_sq = np.minimum(
+                closest_sq, _sq_dists(points, centroids[c][None, :]).ravel()
+            )
+        return centroids
+
+    def _assign(
+        self, points: np.ndarray, centroids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        sq = _sq_dists(points, centroids)
+        labels = np.argmin(sq, axis=1)
+        return labels, sq[np.arange(points.shape[0]), labels]
+
+
+def _sq_dists(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, [n_points, n_centroids]."""
+    p_sq = np.sum(points**2, axis=1, keepdims=True)
+    c_sq = np.sum(centroids**2, axis=1)
+    cross = points @ centroids.T
+    return np.maximum(p_sq + c_sq - 2.0 * cross, 0.0)

@@ -1,0 +1,36 @@
+"""MP-Rec core: representation configs, offline mapping, online scheduling,
+MP-Cache, and query splitting (Sections 4.1-4.3)."""
+
+from repro.core.representations import (
+    RepresentationConfig,
+    paper_configs,
+    representation_space,
+)
+from repro.core.paths import ExecutionPath
+from repro.core.profiler import profile_path, PathProfile
+from repro.core.offline import OfflinePlanner, MappingPlan
+from repro.core.online import MultiPathScheduler, StaticScheduler, TableSwitchScheduler
+from repro.core.mp_cache import EncoderCache, DecoderCentroidCache, MPCache, CacheEffect
+from repro.core.cached_inference import CachedDHE
+from repro.core.splitting import split_query_even, split_query_tuned
+
+__all__ = [
+    "RepresentationConfig",
+    "paper_configs",
+    "representation_space",
+    "ExecutionPath",
+    "profile_path",
+    "PathProfile",
+    "OfflinePlanner",
+    "MappingPlan",
+    "MultiPathScheduler",
+    "StaticScheduler",
+    "TableSwitchScheduler",
+    "EncoderCache",
+    "DecoderCentroidCache",
+    "MPCache",
+    "CacheEffect",
+    "CachedDHE",
+    "split_query_even",
+    "split_query_tuned",
+]

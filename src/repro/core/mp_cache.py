@@ -1,0 +1,215 @@
+"""MP-Cache: two-tier caching for compute-based embedding paths (Sec 4.3).
+
+Tier 1, ``EncoderCache``: hot sparse IDs (power-law traffic) map straight to
+precomputed final embedding vectors, skipping the entire encoder-decoder
+stack. Static residency (top-N by profiled frequency) is the paper's
+design; an LRU variant is included for the ablation bench.
+
+Tier 2, ``DecoderCentroidCache``: intermediate encoder outputs that miss
+tier 1 are matched to their nearest of N profiled centroids via normalized
+dot products, replacing the decoder MLP with a kNN search whose outputs are
+precomputed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.kmeans import KMeans
+from repro.clustering.knn import knn_flops, nearest_centroid, normalize_rows
+from repro.core.representations import RepresentationConfig
+from repro.data.zipf import ZipfSampler
+from repro.embeddings.dhe import DHEEmbedding
+
+ENTRY_KEY_BYTES = 8
+FP32 = 4
+
+
+@dataclass(frozen=True)
+class CacheEffect:
+    """What MP-Cache does to a DHE/hybrid path's latency model."""
+
+    encoder_hit_rate: float
+    decoder_speedup: float
+    accuracy_penalty: float  # percentage points lost to centroid approximation
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.encoder_hit_rate <= 1.0:
+            raise ValueError("encoder_hit_rate must be in [0, 1]")
+        if self.decoder_speedup < 1.0:
+            raise ValueError("decoder_speedup must be >= 1")
+
+
+class EncoderCache:
+    """Hot-ID -> final-embedding cache in front of the encoder stack."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        embedding_dim: int,
+        policy: str = "static",
+    ) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        if policy not in ("static", "lru"):
+            raise ValueError("policy must be 'static' or 'lru'")
+        self.capacity_bytes = capacity_bytes
+        self.embedding_dim = embedding_dim
+        self.policy = policy
+        self.entry_bytes = embedding_dim * FP32 + ENTRY_KEY_BYTES
+        self.capacity_entries = capacity_bytes // self.entry_bytes
+        self._resident: dict[int, set[int]] = {}
+        self._lru: dict[int, OrderedDict[int, None]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ---- static residency -------------------------------------------------
+
+    def fit_static(self, samplers: list[ZipfSampler]) -> None:
+        """Populate per-feature resident sets from profiled popularity.
+
+        Capacity is split across features proportionally to nothing fancier
+        than an even share — hot heads dominate regardless of split because
+        the traffic is power law.
+        """
+        if not samplers:
+            raise ValueError("need at least one feature sampler")
+        per_feature = self.capacity_entries // len(samplers)
+        self._resident = {
+            f: set(int(i) for i in sampler.hottest(per_feature))
+            for f, sampler in enumerate(samplers)
+        }
+
+    def expected_hit_rate(self, samplers: list[ZipfSampler]) -> float:
+        """Analytic hit rate under the fitted residency (uniform feature mix)."""
+        if not self._resident:
+            return 0.0
+        rates = []
+        for f, sampler in enumerate(samplers):
+            resident = np.array(sorted(self._resident.get(f, ())), dtype=np.int64)
+            rates.append(
+                sampler.expected_hit_rate(resident) if resident.size else 0.0
+            )
+        return float(np.mean(rates))
+
+    # ---- lookup -------------------------------------------------------------
+
+    def lookup(self, feature: int, ids: np.ndarray) -> np.ndarray:
+        """Boolean hit mask; updates recency/statistics."""
+        ids = np.asarray(ids)
+        if self.policy == "static":
+            resident = self._resident.get(feature, set())
+            mask = np.fromiter(
+                (int(i) in resident for i in ids), dtype=bool, count=ids.size
+            )
+        else:
+            mask = self._lru_lookup(feature, ids)
+        self.hits += int(mask.sum())
+        self.misses += int((~mask).sum())
+        return mask
+
+    def _lru_lookup(self, feature: int, ids: np.ndarray) -> np.ndarray:
+        per_feature = max(1, self.capacity_entries // max(1, len(self._lru) or 1))
+        cache = self._lru.setdefault(feature, OrderedDict())
+        mask = np.zeros(ids.size, dtype=bool)
+        for i, raw in enumerate(ids):
+            key = int(raw)
+            if key in cache:
+                cache.move_to_end(key)
+                mask[i] = True
+            else:
+                cache[key] = None
+                while len(cache) > per_feature:
+                    cache.popitem(last=False)
+        return mask
+
+    @property
+    def observed_hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class DecoderCentroidCache:
+    """Centroid/kNN replacement for the decoder MLP."""
+
+    def __init__(self, n_centroids: int, seed: int = 0) -> None:
+        if n_centroids <= 0:
+            raise ValueError("n_centroids must be positive")
+        self.n_centroids = n_centroids
+        self.seed = seed
+        self._kmeans: KMeans | None = None
+        self._centroids_normed: np.ndarray | None = None
+        self._decoded: np.ndarray | None = None
+
+    def fit(self, intermediates: np.ndarray, dhe: DHEEmbedding) -> None:
+        """Cluster profiled encoder outputs; precompute decoded centroids."""
+        self._kmeans = KMeans(self.n_centroids, seed=self.seed).fit(intermediates)
+        centroids = self._kmeans.centroids
+        self._centroids_normed = normalize_rows(centroids)
+        self._decoded = dhe.decode(centroids)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._decoded is not None
+
+    def generate(self, intermediates: np.ndarray) -> np.ndarray:
+        """Approximate decoder output: nearest centroid's precomputed vector."""
+        if not self.is_fitted:
+            raise RuntimeError("fit() the decoder cache before generating")
+        idx = nearest_centroid(
+            normalize_rows(intermediates), self._centroids_normed,
+            assume_normalized=True,
+        )
+        return self._decoded[idx]
+
+    def approximation_error(
+        self, intermediates: np.ndarray, dhe: DHEEmbedding
+    ) -> float:
+        """Mean relative L2 error of cached vs. exact decoder outputs."""
+        exact = dhe.decode(intermediates)
+        approx = self.generate(intermediates)
+        num = np.linalg.norm(exact - approx, axis=1)
+        den = np.maximum(np.linalg.norm(exact, axis=1), 1e-12)
+        return float(np.mean(num / den))
+
+    def speedup(self, rep: RepresentationConfig) -> float:
+        """Decoder-MLP FLOPs divided by kNN FLOPs (>= 1)."""
+        decoder = rep.decoder_flops_per_lookup()
+        knn = knn_flops(1, rep.k, self.n_centroids)
+        return max(1.0, decoder / max(knn, 1))
+
+
+class MPCache:
+    """The combined two-tier cache and its effect on a path's latency model."""
+
+    def __init__(
+        self,
+        encoder: EncoderCache,
+        decoder: DecoderCentroidCache | None = None,
+    ) -> None:
+        self.encoder = encoder
+        self.decoder = decoder
+
+    def effect(
+        self,
+        rep: RepresentationConfig,
+        samplers: list[ZipfSampler],
+        approximation_error: float = 0.0,
+    ) -> CacheEffect:
+        hit_rate = self.encoder.expected_hit_rate(samplers)
+        speedup = self.decoder.speedup(rep) if self.decoder else 1.0
+        # Centroid approximation costs a sliver of accuracy, shrinking with
+        # more centroids; calibrated to stay < 0.01% at N >= 256.
+        penalty = 0.02 * approximation_error
+        return CacheEffect(
+            encoder_hit_rate=hit_rate,
+            decoder_speedup=speedup,
+            accuracy_penalty=penalty,
+        )

@@ -1,0 +1,209 @@
+"""MP-Rec offline stage: representation-hardware mapping search (Algorithm 1).
+
+For each hardware platform, pick (1) the accuracy-optimal hybrid that fits —
+large k, decoder as small as reasonable; (2) a table representation that
+still fits, for latency-critical traffic; (3) a DHE sitting between them;
+and (4) on memory-constrained devices with at most one mapping so far, a
+compact DHE. Selected representations are then "trained" — here, assigned
+accuracies by the quality estimator — and profiled across query sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from typing import TYPE_CHECKING
+
+from repro.core.paths import ExecutionPath
+from repro.core.profiler import make_path
+from repro.core.representations import RepresentationConfig, paper_configs
+from repro.hardware.device import DeviceSpec
+from repro.models.configs import ModelConfig
+
+if TYPE_CHECKING:  # imported lazily to avoid a core <-> quality cycle
+    from repro.quality.estimator import QualityEstimator
+
+
+@dataclass
+class MappingPlan:
+    """Output of the offline stage: mappings plus capacity accounting."""
+
+    model: ModelConfig
+    mappings: dict[str, list[RepresentationConfig]] = field(default_factory=dict)
+    devices: dict[str, DeviceSpec] = field(default_factory=dict)
+    accuracies: dict[str, float] = field(default_factory=dict)  # by rep label
+
+    def reps_on(self, device_name: str) -> list[RepresentationConfig]:
+        return self.mappings.get(device_name, [])
+
+    def unique_reps(self) -> list[RepresentationConfig]:
+        seen: dict[str, RepresentationConfig] = {}
+        for reps in self.mappings.values():
+            for rep in reps:
+                seen.setdefault(rep.display, rep)
+        return list(seen.values())
+
+    def unique_rep_bytes(self) -> int:
+        """Footprint of the distinct trained representations (Table 3 metric)."""
+        return sum(rep.total_bytes(self.model) for rep in self.unique_reps())
+
+    def device_bytes(self, device_name: str) -> int:
+        return sum(rep.total_bytes(self.model) for rep in self.reps_on(device_name))
+
+    def best_accuracy(self) -> float:
+        return max(self.accuracies.values()) if self.accuracies else 0.0
+
+    def build_paths(
+        self,
+        encoder_hit_rate: float = 0.0,
+        decoder_speedup: float = 1.0,
+    ) -> list[ExecutionPath]:
+        """Profile every mapping into an activatable execution path.
+
+        Cache effects apply only to DHE-bearing paths (MP-Cache fronts the
+        encoder-decoder stacks, not table lookups).
+        """
+        paths = []
+        for device_name, reps in self.mappings.items():
+            device = self.devices[device_name]
+            for rep in reps:
+                uses_cache = rep.uses_dhe
+                paths.append(
+                    make_path(
+                        rep,
+                        self.model,
+                        device,
+                        accuracy=self.accuracies[rep.display],
+                        encoder_hit_rate=encoder_hit_rate if uses_cache else 0.0,
+                        decoder_speedup=decoder_speedup if uses_cache else 1.0,
+                    )
+                )
+        return paths
+
+
+class OfflinePlanner:
+    """Algorithm 1: HW-specific representation generation."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        estimator: "QualityEstimator",
+        space: list[RepresentationConfig] | None = None,
+    ) -> None:
+        self.model = model
+        self.estimator = estimator
+        self.space = space if space is not None else default_planner_space(model)
+
+    def plan(self, hardware: list[DeviceSpec]) -> MappingPlan:
+        if not hardware:
+            raise ValueError("need at least one hardware platform")
+        plan = MappingPlan(model=self.model)
+        for device in hardware:
+            budget = device.total_memory
+            chosen: list[RepresentationConfig] = []
+
+            hybrid = self._best_fitting("hybrid", budget)
+            if hybrid is not None:
+                chosen.append(hybrid)
+                budget -= hybrid.total_bytes(self.model)
+
+            table, dhe = self._table_dhe_combo(budget)
+            if table is not None:
+                chosen.append(table)
+                budget -= table.total_bytes(self.model)
+            if dhe is not None:
+                chosen.append(dhe)
+                budget -= dhe.total_bytes(self.model)
+
+            if len(chosen) <= 1:
+                compact = self._compact_dhe(budget, exclude=chosen)
+                if compact is not None:
+                    chosen.append(compact)
+
+            plan.mappings[device.name] = chosen
+            plan.devices[device.name] = device
+        # "Train all representations found within S*": attach accuracies.
+        for reps in plan.mappings.values():
+            for rep in reps:
+                plan.accuracies.setdefault(rep.display, self.estimator.accuracy(rep))
+        return plan
+
+    # ------------------------------------------------------------------
+
+    def _candidates(self, kind: str, budget: int) -> list[RepresentationConfig]:
+        return [
+            rep
+            for rep in self.space
+            if rep.kind == kind and rep.total_bytes(self.model) <= budget
+        ]
+
+    def _best_fitting(self, kind: str, budget: int) -> RepresentationConfig | None:
+        """Accuracy-first choice; ties broken toward smaller footprints, which
+        implements the paper's "large k, decoder as small as reasonably
+        possible" preference (decoder size barely moves accuracy)."""
+        candidates = self._candidates(kind, budget)
+        if not candidates:
+            return None
+        return max(
+            candidates,
+            key=lambda rep: (
+                round(self.estimator.accuracy(rep), 4),
+                -rep.total_bytes(self.model),
+            ),
+        )
+
+    def _table_dhe_combo(
+        self, budget: int
+    ) -> tuple[RepresentationConfig | None, RepresentationConfig | None]:
+        """Jointly choose the table + DHE mappings for the remaining budget.
+
+        The paper prefers the pair whose best member is most accurate: on
+        HW-2's 1 GB CPU that means downsizing the table to dim 4 (542 MB) to
+        make room for the accuracy-optimal DHE (123 MB) rather than keeping
+        a dim-8 table that only leaves room for a compact stack (Table 4).
+        """
+        candidates: list[tuple[RepresentationConfig | None, RepresentationConfig | None]] = []
+        table_first = self._best_fitting("table", budget)
+        if table_first is not None:
+            remaining = budget - table_first.total_bytes(self.model)
+            candidates.append((table_first, self._best_fitting("dhe", remaining)))
+        dhe_first = self._best_fitting("dhe", budget)
+        if dhe_first is not None:
+            remaining = budget - dhe_first.total_bytes(self.model)
+            candidates.append((self._best_fitting("table", remaining), dhe_first))
+        if not candidates:
+            return None, None
+
+        def pair_quality(pair) -> tuple[float, float]:
+            accs = [
+                self.estimator.accuracy(rep) for rep in pair if rep is not None
+            ]
+            return (round(max(accs), 4), round(sum(accs), 4))
+
+        return max(candidates, key=pair_quality)
+
+    def _compact_dhe(
+        self, budget: int, exclude: list[RepresentationConfig]
+    ) -> RepresentationConfig | None:
+        taken = {rep.display for rep in exclude}
+        candidates = [
+            rep for rep in self._candidates("dhe", budget) if rep.display not in taken
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda rep: rep.total_bytes(self.model))
+
+
+def default_planner_space(model: ModelConfig) -> list[RepresentationConfig]:
+    """Planner search space: paper configs plus shrunken table dims so
+    memory-constrained devices (HW-2) still find a table mapping."""
+    configs = paper_configs(model)
+    space = [configs["table"], configs["dhe"], configs["hybrid"], configs["dhe_compact"]]
+    dim = model.embedding_dim
+    smaller = dim // 2
+    while smaller >= 2:
+        space.append(
+            RepresentationConfig("table", smaller, label=f"table-d{smaller}")
+        )
+        smaller //= 2
+    return space

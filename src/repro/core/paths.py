@@ -1,0 +1,73 @@
+"""Execution paths: a (representation, hardware) pair ready to serve queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.representations import RepresentationConfig
+from repro.hardware.device import DeviceSpec
+
+
+@dataclass
+class PathProfile:
+    """Latency profile of one path across query sizes (offline profiling).
+
+    ``latency(n)`` interpolates log-linearly between profiled sizes, matching
+    how the paper profiles "selected representations against the expected
+    workload at different query sizes" (Section 4.1).
+    """
+
+    sizes: np.ndarray
+    latencies: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.sizes = np.asarray(self.sizes, dtype=np.float64)
+        self.latencies = np.asarray(self.latencies, dtype=np.float64)
+        if self.sizes.ndim != 1 or self.sizes.shape != self.latencies.shape:
+            raise ValueError("sizes and latencies must be equal-length 1D arrays")
+        if self.sizes.size < 1:
+            raise ValueError("profile needs at least one point")
+        if np.any(np.diff(self.sizes) <= 0):
+            raise ValueError("sizes must be strictly increasing")
+
+    def latency(self, query_size: float) -> float:
+        if query_size <= 0:
+            raise ValueError("query_size must be positive")
+        log_size = np.log(query_size)
+        log_sizes = np.log(self.sizes)
+        return float(np.exp(np.interp(log_size, log_sizes, np.log(self.latencies))))
+
+    def throughput(self, query_size: float) -> float:
+        """Samples/second when saturating the device with this query size."""
+        return query_size / self.latency(query_size)
+
+
+@dataclass
+class ExecutionPath:
+    """One activatable representation-hardware mapping (Figure 8)."""
+
+    rep: RepresentationConfig
+    device: DeviceSpec
+    accuracy: float
+    profile: PathProfile
+    encoder_hit_rate: float = 0.0
+    decoder_speedup: float = 1.0
+    label: str = ""
+    memory_bytes: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            self.label = f"{self.rep.kind.upper()}({self.device.name})"
+
+    @property
+    def kind(self) -> str:
+        return self.rep.kind
+
+    def latency(self, query_size: int) -> float:
+        return self.profile.latency(query_size)
+
+    def __repr__(self) -> str:
+        return f"ExecutionPath({self.label}, acc={self.accuracy:.3f})"

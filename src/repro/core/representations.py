@@ -1,0 +1,220 @@
+"""Representation configurations and their capacity / FLOPs accounting.
+
+A :class:`RepresentationConfig` is the *symbolic* description of one
+embedding representation choice for a given model — enough to compute
+footprints (Table 3) and per-sample FLOPs (Figure 3b) without allocating
+terabyte-scale weights, and to instantiate a real numpy model at reduced
+scale when training is wanted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.embeddings.costs import (
+    dhe_bytes,
+    dhe_flops_per_lookup,
+    embedding_bytes,
+    embedding_flops,
+    table_bytes,
+)
+from repro.models.configs import ModelConfig
+from repro.models.interactions import DotInteraction
+
+KINDS = ("table", "dhe", "select", "hybrid")
+
+
+@dataclass(frozen=True)
+class RepresentationConfig:
+    """Hyperparameters of one embedding representation (Figure 2)."""
+
+    kind: str
+    embedding_dim: int  # per-feature output dim fed to the interaction
+    k: int = 0  # encoder hash functions (dhe/select/hybrid)
+    dnn: int = 0  # decoder MLP width
+    h: int = 0  # decoder MLP height (hidden layers)
+    table_dim: int = 0  # hybrid: table slice width
+    dhe_dim: int = 0  # hybrid: generated slice width
+    n_dhe_features: int = 0  # select: how many features use DHE
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        if self.embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        if self.kind != "table" and (self.k <= 0 or self.dnn <= 0 or self.h < 0):
+            raise ValueError(f"{self.kind} requires positive k and dnn, h >= 0")
+        if self.kind == "hybrid":
+            if self.table_dim <= 0 or self.dhe_dim <= 0:
+                raise ValueError("hybrid requires table_dim and dhe_dim")
+            if self.table_dim + self.dhe_dim != self.embedding_dim:
+                raise ValueError("hybrid: table_dim + dhe_dim must equal embedding_dim")
+        if self.kind == "select" and self.n_dhe_features <= 0:
+            raise ValueError("select requires n_dhe_features >= 1")
+
+    @property
+    def uses_tables(self) -> bool:
+        return self.kind in ("table", "select", "hybrid")
+
+    @property
+    def uses_dhe(self) -> bool:
+        return self.kind in ("dhe", "select", "hybrid")
+
+    @property
+    def display(self) -> str:
+        return self.label or f"{self.kind}(d={self.embedding_dim})"
+
+    # ---- capacity ----------------------------------------------------------
+
+    def embedding_bytes(self, model: ModelConfig) -> int:
+        if self.kind == "select":
+            order = sorted(range(model.n_sparse),
+                           key=lambda f: model.cardinalities[f], reverse=True)
+            dhe_features = order[: self.n_dhe_features]
+            return embedding_bytes(
+                "select", model.cardinalities, self.embedding_dim,
+                k=self.k, dnn=self.dnn, h=self.h, dhe_features=dhe_features,
+            )
+        return embedding_bytes(
+            self.kind, model.cardinalities, self.embedding_dim,
+            k=self.k, dnn=self.dnn, h=self.h,
+            table_dim=self.table_dim or None, dhe_dim=self.dhe_dim or None,
+        )
+
+    def dense_bytes(self, model: ModelConfig) -> int:
+        """Bottom + top MLP parameter bytes for this representation's dims."""
+        return sum(
+            (sizes[i] * sizes[i + 1] + sizes[i + 1]) * 4
+            for sizes in (self._bottom_sizes(model), self._top_sizes(model))
+            for i in range(len(sizes) - 1)
+        )
+
+    def total_bytes(self, model: ModelConfig) -> int:
+        return self.embedding_bytes(model) + self.dense_bytes(model)
+
+    # ---- compute -----------------------------------------------------------
+
+    def embedding_flops_per_sample(self, model: ModelConfig) -> int:
+        g_dim = self.dhe_dim or None
+        return embedding_flops(
+            self.kind, model.n_sparse, self.embedding_dim,
+            k=self.k, dnn=self.dnn, h=self.h, dhe_dim=g_dim,
+            n_dhe_features=self.n_dhe_features,
+        )
+
+    def dense_flops_per_sample(self, model: ModelConfig) -> int:
+        mlp = sum(
+            2 * sizes[i] * sizes[i + 1]
+            for sizes in (self._bottom_sizes(model), self._top_sizes(model))
+            for i in range(len(sizes) - 1)
+        )
+        interaction = DotInteraction.flops(1, self.embedding_dim, model.n_sparse)
+        return mlp + interaction
+
+    def flops_per_sample(self, model: ModelConfig) -> int:
+        return self.embedding_flops_per_sample(model) + self.dense_flops_per_sample(model)
+
+    def decoder_flops_per_lookup(self) -> int:
+        if not self.uses_dhe:
+            return 0
+        out_dim = self.dhe_dim if self.kind == "hybrid" else self.embedding_dim
+        return dhe_flops_per_lookup(self.k, self.dnn, self.h, out_dim)
+
+    def decoder_bytes(self) -> int:
+        """One decoder stack's parameter bytes (MP-Cache sizing input)."""
+        if not self.uses_dhe:
+            return 0
+        out_dim = self.dhe_dim if self.kind == "hybrid" else self.embedding_dim
+        return dhe_bytes(self.k, self.dnn, self.h, out_dim)
+
+    def table_only_bytes(self, model: ModelConfig) -> int:
+        """Bytes of the table component (hot data for gather placement)."""
+        if self.kind == "table":
+            return sum(table_bytes(rows, self.embedding_dim) for rows in model.cardinalities)
+        if self.kind == "hybrid":
+            return sum(table_bytes(rows, self.table_dim) for rows in model.cardinalities)
+        if self.kind == "select":
+            order = sorted(range(model.n_sparse),
+                           key=lambda f: model.cardinalities[f], reverse=True)
+            kept = set(range(model.n_sparse)) - set(order[: self.n_dhe_features])
+            return sum(
+                table_bytes(model.cardinalities[f], self.embedding_dim) for f in kept
+            )
+        return 0
+
+    # ---- helpers -----------------------------------------------------------
+
+    def _bottom_sizes(self, model: ModelConfig) -> list[int]:
+        return [model.n_dense, *model.bottom_mlp, self.embedding_dim]
+
+    def _top_sizes(self, model: ModelConfig) -> list[int]:
+        interaction = DotInteraction.output_dim(self.embedding_dim, model.n_sparse)
+        return [interaction, *model.top_mlp, 1]
+
+    def with_dim(self, dim: int) -> "RepresentationConfig":
+        if self.kind == "hybrid":
+            t_dim = max(1, dim * self.table_dim // self.embedding_dim)
+            return replace(
+                self, embedding_dim=dim, table_dim=t_dim, dhe_dim=dim - t_dim
+            )
+        return replace(self, embedding_dim=dim)
+
+
+def paper_configs(model: ModelConfig) -> dict[str, RepresentationConfig]:
+    """The paper-calibrated configuration of each representation.
+
+    Chosen so the Table 3 footprints reproduce: the accuracy-optimal DHE
+    stack is ``k=2048, dnn=480, h=2`` (~127 MB over 26 features), and hybrid
+    keeps the full-width table plus a half-width generated slice.
+    """
+    dim = model.embedding_dim
+    return {
+        "table": RepresentationConfig("table", dim, label=f"table-d{dim}"),
+        "dhe": RepresentationConfig(
+            "dhe", dim, k=2048, dnn=480, h=2, label=f"dhe-k2048-d{dim}"
+        ),
+        "select": RepresentationConfig(
+            "select", dim, k=1024, dnn=256, h=2, n_dhe_features=3,
+            label=f"select-3-d{dim}",
+        ),
+        "hybrid": RepresentationConfig(
+            "hybrid", dim + max(1, dim // 2), k=2048, dnn=480, h=2,
+            table_dim=dim, dhe_dim=max(1, dim // 2),
+            label=f"hybrid-d{dim}+{max(1, dim // 2)}",
+        ),
+        "dhe_compact": RepresentationConfig(
+            "dhe", dim, k=256, dnn=128, h=1, label=f"dhe-compact-d{dim}"
+        ),
+    }
+
+
+def representation_space(
+    model: ModelConfig,
+    ks: tuple[int, ...] = (2, 8, 32, 128, 512, 1024, 2048),
+    dnns: tuple[int, ...] = (64, 128, 256, 480),
+    hs: tuple[int, ...] = (1, 2, 4),
+    table_dims: tuple[int, ...] = (4, 8, 16, 32, 64),
+) -> list[RepresentationConfig]:
+    """The exploration space of Figure 3/4: table dims and DHE stack shapes."""
+    space: list[RepresentationConfig] = []
+    dim = model.embedding_dim
+    for t_dim in table_dims:
+        space.append(RepresentationConfig("table", t_dim, label=f"table-d{t_dim}"))
+    for k in ks:
+        for dnn in dnns:
+            for h in hs:
+                space.append(
+                    RepresentationConfig(
+                        "dhe", dim, k=k, dnn=dnn, h=h,
+                        label=f"dhe-k{k}-w{dnn}-h{h}",
+                    )
+                )
+                space.append(
+                    RepresentationConfig(
+                        "hybrid", dim + max(1, dim // 2), k=k, dnn=dnn, h=h,
+                        table_dim=dim, dhe_dim=max(1, dim // 2),
+                        label=f"hybrid-k{k}-w{dnn}-h{h}",
+                    )
+                )
+    return space

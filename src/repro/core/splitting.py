@@ -1,0 +1,129 @@
+"""Query splitting across heterogeneous hardware (Section 6.5).
+
+Splitting one query's samples across CPU and GPU can help table execution
+(smaller per-device batches, both memory systems engaged) but hurts
+compute-heavy representations — the CPU slice of a DHE/hybrid query becomes
+the critical path. ``split_query_even`` reproduces the paper's even split;
+``split_query_tuned`` searches the ratio, showing the "careful tuning"
+caveat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.representations import RepresentationConfig
+from repro.hardware.device import DeviceSpec
+from repro.hardware.latency import path_latency
+from repro.models.configs import ModelConfig
+
+
+@dataclass(frozen=True)
+class SplitOutcome:
+    ratio_on_first: float
+    latency_s: float
+    first_latency_s: float
+    second_latency_s: float
+
+
+def split_latency(
+    rep: RepresentationConfig,
+    model: ModelConfig,
+    first: DeviceSpec,
+    second: DeviceSpec,
+    query_size: int,
+    ratio_on_first: float,
+) -> SplitOutcome:
+    """Latency when ``ratio_on_first`` of the samples run on ``first``.
+
+    The halves execute concurrently; the query completes when both do.
+    """
+    if not 0.0 <= ratio_on_first <= 1.0:
+        raise ValueError("ratio must be in [0, 1]")
+    n_first = int(round(query_size * ratio_on_first))
+    n_second = query_size - n_first
+    t_first = path_latency(rep, model, first, n_first) if n_first else 0.0
+    t_second = path_latency(rep, model, second, n_second) if n_second else 0.0
+    return SplitOutcome(
+        ratio_on_first=ratio_on_first,
+        latency_s=max(t_first, t_second),
+        first_latency_s=t_first,
+        second_latency_s=t_second,
+    )
+
+
+def split_query_even(
+    rep: RepresentationConfig,
+    model: ModelConfig,
+    first: DeviceSpec,
+    second: DeviceSpec,
+    query_size: int,
+) -> SplitOutcome:
+    """The paper's experiment: a 50/50 split."""
+    return split_latency(rep, model, first, second, query_size, 0.5)
+
+
+def split_query_tuned(
+    rep: RepresentationConfig,
+    model: ModelConfig,
+    first: DeviceSpec,
+    second: DeviceSpec,
+    query_size: int,
+    grid: int = 21,
+) -> SplitOutcome:
+    """Grid-search the split ratio (0 and 1 = no split are included)."""
+    if grid < 2:
+        raise ValueError("grid must be >= 2")
+    outcomes = [
+        split_latency(rep, model, first, second, query_size, float(r))
+        for r in np.linspace(0.0, 1.0, grid)
+    ]
+    return min(outcomes, key=lambda o: o.latency_s)
+
+
+def simulate_split_serving(
+    rep: RepresentationConfig,
+    model: ModelConfig,
+    first: DeviceSpec,
+    second: DeviceSpec,
+    scenario,
+    accuracy: float,
+    ratio_on_first: float = 0.5,
+):
+    """Serve a scenario with every query split across both devices.
+
+    Each query occupies *both* devices simultaneously (its halves execute
+    concurrently and the query completes when the slower half does), so
+    splitting halves per-device load but couples the two queues — the
+    serving-level version of Figure 14.
+    """
+    from repro.serving.metrics import QueryRecord, ServingResult
+
+    result = ServingResult(
+        scheduler_name=f"split-{rep.kind}-{ratio_on_first:.2f}",
+        sla_s=scenario.sla_s,
+    )
+    free_first = 0.0
+    free_second = 0.0
+    for query in sorted(scenario.queries, key=lambda q: q.arrival_s):
+        outcome = split_latency(
+            rep, model, first, second, query.size, ratio_on_first
+        )
+        start = max(query.arrival_s, free_first, free_second)
+        finish = start + outcome.latency_s
+        free_first = start + outcome.first_latency_s
+        free_second = start + outcome.second_latency_s
+        result.records.append(
+            QueryRecord(
+                index=query.index,
+                size=query.size,
+                arrival_s=query.arrival_s,
+                start_s=start,
+                finish_s=finish,
+                path_label=result.scheduler_name,
+                accuracy=accuracy,
+            )
+        )
+    return result

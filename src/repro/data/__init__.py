@@ -1,0 +1,25 @@
+"""Synthetic Criteo-shaped datasets and serving workloads.
+
+The raw Criteo click logs are not redistributable (and this environment is
+offline), so the data layer generates structurally faithful substitutes:
+real per-table cardinalities, Zipf (power-law) sparse-ID popularity matching
+Figure 16a, and a latent-factor ground-truth CTR model so the numpy DLRM has
+real signal to learn.
+"""
+
+from repro.data.zipf import ZipfSampler
+from repro.data.synthetic import SyntheticCTRDataset, Batch, make_dataset
+from repro.data.queries import QuerySet, Query, generate_query_set, arrival_times
+from repro.data.internal_like import INTERNAL_LIKE
+
+__all__ = [
+    "ZipfSampler",
+    "SyntheticCTRDataset",
+    "Batch",
+    "make_dataset",
+    "QuerySet",
+    "Query",
+    "generate_query_set",
+    "arrival_times",
+    "INTERNAL_LIKE",
+]

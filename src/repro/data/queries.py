@@ -1,0 +1,128 @@
+"""Inference query workloads (Section 5.3).
+
+Queries are batches of candidate items for one user request. Sizes follow a
+lognormal distribution with a configurable mean (default 128, range 1-4K as
+in DeepRecSys); arrivals follow a Poisson process at the target QPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+MAX_QUERY_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class Query:
+    """One inference request: ``size`` candidate items arriving at a time."""
+
+    index: int
+    size: int
+    arrival_s: float
+
+
+@dataclass
+class QuerySet:
+    queries: list[Query] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    @property
+    def total_samples(self) -> int:
+        return sum(q.size for q in self.queries)
+
+    @property
+    def sizes(self) -> np.ndarray:
+        return np.array([q.size for q in self.queries])
+
+    def mean_size(self) -> float:
+        return float(self.sizes.mean()) if self.queries else 0.0
+
+
+def lognormal_sizes(
+    n_queries: int,
+    mean_size: float,
+    sigma: float = 1.0,
+    rng: np.random.Generator | None = None,
+    max_size: int = MAX_QUERY_SIZE,
+) -> np.ndarray:
+    """Lognormal query sizes with the requested arithmetic mean."""
+    if mean_size < 1:
+        raise ValueError("mean query size must be >= 1")
+    rng = rng or np.random.default_rng(0)
+    # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2)  =>  solve for mu.
+    mu = np.log(mean_size) - sigma**2 / 2.0
+    sizes = rng.lognormal(mean=mu, sigma=sigma, size=n_queries)
+    return np.clip(np.round(sizes), 1, max_size).astype(np.int64)
+
+
+def arrival_times(
+    n_queries: int,
+    qps: float,
+    rng: np.random.Generator | None = None,
+    process: str = "poisson",
+) -> np.ndarray:
+    """Arrival timestamps for ``n_queries`` at the target rate."""
+    if qps <= 0:
+        raise ValueError("qps must be positive")
+    rng = rng or np.random.default_rng(0)
+    if process == "poisson":
+        gaps = rng.exponential(scale=1.0 / qps, size=n_queries)
+        return np.cumsum(gaps)
+    if process == "uniform":
+        return np.arange(1, n_queries + 1) / qps
+    if process == "diurnal":
+        return _diurnal_arrivals(n_queries, qps, rng)
+    raise ValueError(f"unknown arrival process {process!r}")
+
+
+def _diurnal_arrivals(
+    n_queries: int,
+    mean_qps: float,
+    rng: np.random.Generator,
+    period_s: float = 10.0,
+    amplitude: float = 0.6,
+) -> np.ndarray:
+    """Inhomogeneous Poisson arrivals with a sinusoidal rate.
+
+    Production recommendation traffic follows diurnal cycles (the load
+    pattern Hercules provisions for — Section 7); ``period_s`` compresses a
+    day into a simulable window. Rate(t) = mean * (1 + amplitude*sin(...)),
+    sampled by thinning against the peak rate.
+    """
+    if not 0 <= amplitude < 1:
+        raise ValueError("amplitude must be in [0, 1)")
+    peak = mean_qps * (1.0 + amplitude)
+    times = []
+    t = 0.0
+    while len(times) < n_queries:
+        t += rng.exponential(1.0 / peak)
+        rate = mean_qps * (1.0 + amplitude * np.sin(2 * np.pi * t / period_s))
+        if rng.random() < rate / peak:
+            times.append(t)
+    return np.array(times)
+
+
+def generate_query_set(
+    n_queries: int = 10_000,
+    mean_size: float = 128.0,
+    qps: float = 1000.0,
+    sigma: float = 1.0,
+    seed: int = 0,
+    process: str = "poisson",
+) -> QuerySet:
+    """The paper's default workload: 10K lognormal queries, mean 128, 1000 QPS."""
+    rng = np.random.default_rng(seed)
+    sizes = lognormal_sizes(n_queries, mean_size, sigma=sigma, rng=rng)
+    arrivals = arrival_times(n_queries, qps, rng=rng, process=process)
+    queries = [
+        Query(index=i, size=int(sizes[i]), arrival_s=float(arrivals[i]))
+        for i in range(n_queries)
+    ]
+    return QuerySet(queries=queries)

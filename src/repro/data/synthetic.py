@@ -1,0 +1,104 @@
+"""Latent-factor synthetic CTR data in the shape of Criteo.
+
+Labels come from a hidden ground-truth model: each sparse ID carries a
+latent vector, each dense feature a weight, and the click logit is a linear
+term plus pairwise latent interactions — the structure DLRM is built to
+capture. This gives trainable signal (losses drop, AUC > 0.5 quickly) while
+the ID marginals stay Zipf-distributed like real Criteo traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.zipf import ZipfSampler
+from repro.models.configs import ModelConfig
+
+
+@dataclass
+class Batch:
+    dense: np.ndarray  # [B, n_dense] float
+    sparse: np.ndarray  # [B, n_sparse] int
+    labels: np.ndarray  # [B] {0, 1}
+
+    def __len__(self) -> int:
+        return self.dense.shape[0]
+
+
+class SyntheticCTRDataset:
+    """Generates batches for a given ``ModelConfig``.
+
+    The ground truth uses a small latent dim (independent of the model's
+    embedding dim) so that learnability does not trivially favor any one
+    representation.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        seed: int = 0,
+        latent_dim: int = 8,
+        zipf_alpha: float = 1.05,
+        label_noise: float = 0.1,
+        max_latent_rows: int = 100_000,
+    ) -> None:
+        self.config = config
+        self.latent_dim = latent_dim
+        self.label_noise = label_noise
+        self._rng = np.random.default_rng(seed)
+        self.samplers = [
+            ZipfSampler(rows, alpha=zipf_alpha, seed=seed * 1009 + f)
+            for f, rows in enumerate(config.cardinalities)
+        ]
+        # Latent vectors only for the head of each table (IDs are Zipf, so the
+        # head carries nearly all probability mass); tail IDs share a bucket.
+        self._latent_rows = [
+            min(rows, max_latent_rows) for rows in config.cardinalities
+        ]
+        self._latents = [
+            self._rng.standard_normal((rows, latent_dim)) / np.sqrt(latent_dim)
+            for rows in self._latent_rows
+        ]
+        self._dense_weights = self._rng.standard_normal(config.n_dense) * 0.3
+        self._bias = -1.1  # CTR around 25%, like Criteo
+
+    def sample_batch(self, batch_size: int) -> Batch:
+        cfg = self.config
+        dense = self._rng.lognormal(mean=0.0, sigma=1.0, size=(batch_size, cfg.n_dense))
+        dense = np.log1p(dense)  # Criteo preprocessing convention
+        sparse = np.stack(
+            [sampler.sample(batch_size) for sampler in self.samplers], axis=1
+        )
+        logits = self._true_logits(dense, sparse)
+        probs = 1.0 / (1.0 + np.exp(-logits))
+        labels = (self._rng.random(batch_size) < probs).astype(np.float64)
+        return Batch(dense=dense, sparse=sparse, labels=labels)
+
+    def _true_logits(self, dense: np.ndarray, sparse: np.ndarray) -> np.ndarray:
+        batch = dense.shape[0]
+        latent_sum = np.zeros((batch, self.latent_dim))
+        latent_sq_sum = np.zeros((batch, self.latent_dim))
+        for f in range(self.config.n_sparse):
+            ids = np.minimum(sparse[:, f], self._latent_rows[f] - 1)
+            vecs = self._latents[f][ids]
+            latent_sum += vecs
+            latent_sq_sum += vecs**2
+        # Factorization-machine pairwise term: 0.5 * (sum^2 - sum of squares).
+        pairwise = 0.5 * (latent_sum**2 - latent_sq_sum).sum(axis=1)
+        linear = dense @ self._dense_weights
+        noise = self._rng.standard_normal(batch) * self.label_noise
+        return self._bias + linear + pairwise + noise
+
+    def bayes_accuracy(self, n_samples: int = 20_000) -> float:
+        """Accuracy of the (unreachable) oracle that knows the true logits."""
+        batch = self.sample_batch(n_samples)
+        logits = self._true_logits(batch.dense, batch.sparse)
+        preds = (logits > 0).astype(np.float64)
+        return float(np.mean(preds == batch.labels))
+
+
+def make_dataset(config: ModelConfig, seed: int = 0, **kwargs) -> SyntheticCTRDataset:
+    """Convenience constructor matching the examples' import style."""
+    return SyntheticCTRDataset(config, seed=seed, **kwargs)

@@ -1,0 +1,71 @@
+"""Power-law (Zipf) sparse-ID sampling.
+
+Recommendation ID popularity follows a power law (paper Section 6.7,
+Figure 16a: the hottest rows of Kaggle's largest table see 10K+ accesses
+while most rows are touched at most once). The sampler draws IDs with
+probability proportional to ``rank^-alpha`` over a fixed permutation so
+that "hot" IDs are stable across batches — the property MP-Cache's encoder
+cache exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ZipfSampler:
+    """Draw IDs from ``[0, n)`` with Zipf(alpha) popularity."""
+
+    def __init__(
+        self,
+        n: int,
+        alpha: float = 1.05,
+        seed: int = 0,
+        shuffle: bool = False,
+    ) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.n = n
+        self.alpha = alpha
+        self._rng = np.random.default_rng(seed)
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        weights = ranks**-alpha
+        self._probs = weights / weights.sum()
+        self._cdf = np.cumsum(self._probs)
+        self._cdf[-1] = 1.0
+        if shuffle:
+            self._perm = self._rng.permutation(n)
+        else:
+            self._perm = None  # identity: ID 0 is hottest
+
+    def sample(self, size: int | tuple[int, ...]) -> np.ndarray:
+        """Sample IDs (inverse-CDF over the rank distribution)."""
+        uniforms = self._rng.random(size)
+        ranks = np.searchsorted(self._cdf, uniforms, side="right")
+        ranks = np.minimum(ranks, self.n - 1)
+        if self._perm is not None:
+            return self._perm[ranks]
+        return ranks
+
+    def probability(self, ids: np.ndarray) -> np.ndarray:
+        """Popularity of each ID (used to pick encoder-cache residents)."""
+        ids = np.asarray(ids)
+        if self._perm is not None:
+            inverse = np.empty_like(self._perm)
+            inverse[self._perm] = np.arange(self.n)
+            return self._probs[inverse[ids]]
+        return self._probs[ids]
+
+    def hottest(self, count: int) -> np.ndarray:
+        """The ``count`` most popular IDs, descending."""
+        count = min(count, self.n)
+        if self._perm is not None:
+            return self._perm[:count]
+        return np.arange(count)
+
+    def expected_hit_rate(self, cached_ids: np.ndarray) -> float:
+        """Probability that a fresh sample hits the given cached-ID set."""
+        cached = np.unique(np.asarray(cached_ids))
+        return float(self.probability(cached).sum())

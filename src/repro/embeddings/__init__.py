@@ -1,0 +1,39 @@
+"""Embedding representations: table, DHE, select, and hybrid (Section 2).
+
+Each representation maps sparse feature IDs to dense vectors. ``table``
+stores learned vectors; ``DHE`` generates them through an encoder hash stack
+and a decoder MLP; ``select`` picks table-or-DHE per feature; ``hybrid``
+concatenates both mechanisms' outputs for higher-quality embeddings.
+"""
+
+from repro.embeddings.hashing import HashFamily, encode_ids
+from repro.embeddings.table import TableEmbedding
+from repro.embeddings.dhe import DHEEmbedding, DHEEncoder
+from repro.embeddings.select import SelectEmbedding
+from repro.embeddings.hybrid import HybridEmbedding
+from repro.embeddings.ttrec import TTEmbedding, tt_bytes
+from repro.embeddings.mixed_dim import (
+    MixedDimEmbedding,
+    mixed_dim_bytes,
+    mixed_dimensions,
+)
+from repro.embeddings.collection import EmbeddingCollection
+from repro.embeddings.costs import embedding_flops, embedding_bytes
+
+__all__ = [
+    "HashFamily",
+    "encode_ids",
+    "TableEmbedding",
+    "DHEEmbedding",
+    "DHEEncoder",
+    "SelectEmbedding",
+    "HybridEmbedding",
+    "TTEmbedding",
+    "tt_bytes",
+    "MixedDimEmbedding",
+    "mixed_dim_bytes",
+    "mixed_dimensions",
+    "EmbeddingCollection",
+    "embedding_flops",
+    "embedding_bytes",
+]

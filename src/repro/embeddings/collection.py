@@ -1,0 +1,56 @@
+"""A collection of per-feature embedding representations.
+
+DLRM models consume ``[batch, n_features]`` sparse ID matrices; the
+collection dispatches column ``f`` to the representation registered for
+feature ``f`` and stacks outputs into ``[batch, n_features, dim]``. Mixed
+collections (some table, some DHE — i.e. the *select* representation) are
+allowed as long as every feature's output dim matches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class EmbeddingCollection(Module):
+    def __init__(self, features: Sequence[Module]) -> None:
+        if not features:
+            raise ValueError("collection needs at least one feature")
+        dims = {feat.output_dim for feat in features}
+        if len(dims) != 1:
+            raise ValueError(
+                f"all features must share an output dim, got {sorted(dims)}"
+            )
+        self.features = list(features)
+        self.output_dim = dims.pop()
+
+    @property
+    def n_features(self) -> int:
+        return len(self.features)
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids)
+        if ids.ndim != 2 or ids.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected ids of shape [batch, {self.n_features}], got {ids.shape}"
+            )
+        outputs = [feat(ids[:, f]) for f, feat in enumerate(self.features)]
+        return np.stack(outputs, axis=1)
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        for f, feat in enumerate(self.features):
+            feat.backward(grad_output[:, f, :])
+        return None
+
+    def flops_per_sample(self) -> int:
+        return sum(feat.flops_per_lookup() for feat in self.features)
+
+    def bytes_per_sample(self) -> int:
+        return sum(feat.bytes_per_lookup() for feat in self.features)
+
+    def kinds(self) -> list[str]:
+        return [feat.kind for feat in self.features]

@@ -1,0 +1,105 @@
+"""Symbolic cost accounting for embedding representations.
+
+These helpers compute footprints and per-sample FLOPs from *configurations*
+(cardinalities and hyperparameters) without instantiating the weights —
+required for Terabyte-scale capacity math where the real tables (12.58 GB)
+must never be allocated inside a test process.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+FP32_BYTES = 4
+
+
+def table_bytes(num_rows: int, dim: int) -> int:
+    """Footprint of one embedding table in bytes (fp32)."""
+    return num_rows * dim * FP32_BYTES
+
+
+def decoder_params(k: int, dnn: int, h: int, dim: int) -> int:
+    """Parameter count of a DHE decoder MLP ``[k, dnn*h, dim]`` incl. biases."""
+    sizes = [k] + [dnn] * h + [dim]
+    return sum(
+        sizes[i] * sizes[i + 1] + sizes[i + 1] for i in range(len(sizes) - 1)
+    )
+
+
+def dhe_bytes(k: int, dnn: int, h: int, dim: int) -> int:
+    """Footprint of one DHE stack (decoder params; the encoder is stateless)."""
+    return decoder_params(k, dnn, h, dim) * FP32_BYTES
+
+
+def dhe_flops_per_lookup(k: int, dnn: int, h: int, dim: int) -> int:
+    """FLOPs to generate one embedding vector: hashing + decoder matmuls."""
+    sizes = [k] + [dnn] * h + [dim]
+    decoder = sum(2 * sizes[i] * sizes[i + 1] for i in range(len(sizes) - 1))
+    encoder = 4 * k
+    return encoder + decoder
+
+
+def embedding_bytes(
+    kind: str,
+    cardinalities: Sequence[int],
+    dim: int,
+    k: int = 0,
+    dnn: int = 0,
+    h: int = 0,
+    table_dim: int | None = None,
+    dhe_dim: int | None = None,
+    dhe_features: Sequence[int] = (),
+    shared_decoder: bool = False,
+) -> int:
+    """Total embedding footprint for a model with the given representation.
+
+    ``dhe_features`` (select only) lists feature indices replaced with DHE.
+    ``shared_decoder`` shares one decoder across features (an extension the
+    DHE paper mentions); default is per-feature decoders like the artifact.
+    """
+    n = len(cardinalities)
+    if kind == "table":
+        return sum(table_bytes(rows, dim) for rows in cardinalities)
+    if kind == "dhe":
+        stacks = 1 if shared_decoder else n
+        return stacks * dhe_bytes(k, dnn, h, dim)
+    if kind == "select":
+        dhe_set = set(dhe_features)
+        total = sum(
+            table_bytes(rows, dim)
+            for f, rows in enumerate(cardinalities)
+            if f not in dhe_set
+        )
+        stacks = 1 if shared_decoder else len(dhe_set)
+        return total + stacks * dhe_bytes(k, dnn, h, dim)
+    if kind == "hybrid":
+        t_dim = table_dim if table_dim is not None else dim
+        g_dim = dhe_dim if dhe_dim is not None else dim
+        tables = sum(table_bytes(rows, t_dim) for rows in cardinalities)
+        stacks = 1 if shared_decoder else n
+        return tables + stacks * dhe_bytes(k, dnn, h, g_dim)
+    raise ValueError(f"unknown representation kind {kind!r}")
+
+
+def embedding_flops(
+    kind: str,
+    n_features: int,
+    dim: int,
+    k: int = 0,
+    dnn: int = 0,
+    h: int = 0,
+    table_dim: int | None = None,
+    dhe_dim: int | None = None,
+    n_dhe_features: int = 0,
+) -> int:
+    """Per-sample embedding-access FLOPs for the given representation."""
+    if kind == "table":
+        return 0
+    if kind == "dhe":
+        return n_features * dhe_flops_per_lookup(k, dnn, h, dim)
+    if kind == "select":
+        return n_dhe_features * dhe_flops_per_lookup(k, dnn, h, dim)
+    if kind == "hybrid":
+        g_dim = dhe_dim if dhe_dim is not None else dim
+        return n_features * dhe_flops_per_lookup(k, dnn, h, g_dim)
+    raise ValueError(f"unknown representation kind {kind!r}")

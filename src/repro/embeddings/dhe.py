@@ -1,0 +1,100 @@
+"""Deep Hash Embedding representation (Figure 2b).
+
+The encoder stack applies ``k`` parallel hash functions and a normalization
+to produce an intermediate dense feature; the decoder MLP maps that feature
+to the final embedding vector. No per-ID state is stored, so the footprint
+is the decoder parameters only — at the cost of orders of magnitude more
+FLOPs than a table lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.embeddings.hashing import HashFamily, encode_ids
+from repro.nn.layers import MLP
+from repro.nn.module import Module
+
+
+class DHEEncoder(Module):
+    """Parameter-free encoder: IDs -> k hashed, normalized dense features."""
+
+    def __init__(self, k: int, m: int = 1_000_003, seed: int = 0,
+                 transform: str = "uniform") -> None:
+        self.k = k
+        self.m = m
+        self.transform = transform
+        self.hashes = HashFamily(k, m, seed)
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        return encode_ids(self.hashes(ids), self.m, self.transform)
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        return None  # no parameters, no differentiable input
+
+    def flops_per_id(self) -> int:
+        return self.hashes.flops_per_id()
+
+
+def decoder_layer_sizes(k: int, dnn: int, h: int, dim: int) -> list[int]:
+    """Decoder MLP shape: ``k`` inputs, ``h`` hidden layers of width ``dnn``."""
+    if h < 0:
+        raise ValueError("decoder height must be non-negative")
+    return [k] + [dnn] * h + [dim]
+
+
+class DHEEmbedding(Module):
+    """Full DHE stack: encoder hashing + decoder MLP (Section 2.2)."""
+
+    kind = "dhe"
+
+    def __init__(
+        self,
+        dim: int,
+        k: int,
+        dnn: int,
+        h: int,
+        rng: np.random.Generator,
+        m: int = 1_000_003,
+        seed: int = 0,
+        transform: str = "uniform",
+        decoder_sizes: Sequence[int] | None = None,
+    ) -> None:
+        self.dim = dim
+        self.k = k
+        self.dnn = dnn
+        self.h = h
+        self.encoder = DHEEncoder(k, m=m, seed=seed, transform=transform)
+        sizes = list(decoder_sizes) if decoder_sizes else decoder_layer_sizes(k, dnn, h, dim)
+        if sizes[0] != k or sizes[-1] != dim:
+            raise ValueError("decoder sizes must start at k and end at dim")
+        self.decoder = MLP(sizes, rng, hidden_activation="relu")
+
+    @property
+    def output_dim(self) -> int:
+        return self.dim
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        intermediate = self.encoder(ids)
+        return self.decoder(intermediate)
+
+    def encode(self, ids: np.ndarray) -> np.ndarray:
+        """Encoder-only output (used by MP-Cache's decoder-side centroids)."""
+        return self.encoder(ids)
+
+    def decode(self, intermediate: np.ndarray) -> np.ndarray:
+        """Decoder-only pass over already-encoded intermediates."""
+        return self.decoder(intermediate)
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        self.decoder.backward(grad_output)
+        return None
+
+    def flops_per_lookup(self) -> int:
+        return self.encoder.flops_per_id() + self.decoder.flops(1)
+
+    def bytes_per_lookup(self) -> int:
+        """Weight traffic per lookup if decoder streams from DRAM (upper bound)."""
+        return self.decoder.num_parameters() * 4

@@ -1,0 +1,64 @@
+"""Hybrid embedding representation (Figure 2d) — the paper's proposal.
+
+Sparse IDs both index an embedding table and drive a DHE stack; the two
+resulting vectors are concatenated. Table and decoder MLP are trained
+jointly, which is exactly what happens here: backward splits the output
+gradient and routes each slice to its producer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.dhe import DHEEmbedding
+from repro.embeddings.table import TableEmbedding
+from repro.nn.module import Module
+
+
+class HybridEmbedding(Module):
+    """Concatenation of a table slice and a DHE-generated slice."""
+
+    kind = "hybrid"
+
+    def __init__(
+        self,
+        num_rows: int,
+        table_dim: int,
+        dhe_dim: int,
+        k: int,
+        dnn: int,
+        h: int,
+        rng: np.random.Generator,
+        seed: int = 0,
+        m: int = 1_000_003,
+        transform: str = "uniform",
+    ) -> None:
+        if table_dim <= 0 or dhe_dim <= 0:
+            raise ValueError("hybrid needs positive table and DHE dims")
+        self.num_rows = num_rows
+        self.table_dim = table_dim
+        self.dhe_dim = dhe_dim
+        self.table = TableEmbedding(num_rows, table_dim, rng)
+        self.dhe = DHEEmbedding(
+            dhe_dim, k, dnn, h, rng, m=m, seed=seed, transform=transform
+        )
+
+    @property
+    def output_dim(self) -> int:
+        return self.table_dim + self.dhe_dim
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        table_out = self.table(ids)
+        dhe_out = self.dhe(ids)
+        return np.concatenate([table_out, dhe_out], axis=-1)
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        self.table.backward(grad_output[..., : self.table_dim])
+        self.dhe.backward(grad_output[..., self.table_dim :])
+        return None
+
+    def flops_per_lookup(self) -> int:
+        return self.table.flops_per_lookup() + self.dhe.flops_per_lookup()
+
+    def bytes_per_lookup(self) -> int:
+        return self.table.bytes_per_lookup() + self.dhe.bytes_per_lookup()

@@ -1,0 +1,106 @@
+"""Mixed-dimension embeddings (Ginart et al., ISIT'21 — paper ref [12]).
+
+A third compression family alongside DHE and TT-Rec: popular tables keep
+wide embeddings while rare ones shrink, with a learned projection lifting
+every table back to the common interaction dim. Included so the related
+work's design space is reproducible on the same substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import EmbeddingTable, Linear
+from repro.nn.module import Module
+
+
+def mixed_dimensions(
+    cardinalities: list[int],
+    base_dim: int,
+    alpha: float = 0.3,
+    min_dim: int = 2,
+) -> list[int]:
+    """Per-table dims ``d_f ∝ (popularity_f)^alpha``.
+
+    Under uniform per-feature traffic, popularity of a row scales inversely
+    with cardinality, so bigger tables get *smaller* dims; the most common
+    MD heuristic. Dims are rounded to powers of two, clamped to
+    ``[min_dim, base_dim]``.
+    """
+    if not 0 <= alpha <= 1:
+        raise ValueError("alpha must be in [0, 1]")
+    cards = np.array(cardinalities, dtype=np.float64)
+    smallest = cards.min()
+    dims = base_dim * (smallest / cards) ** alpha
+    rounded = 2 ** np.round(np.log2(np.maximum(dims, 1.0)))
+    return [int(min(base_dim, max(min_dim, d))) for d in rounded]
+
+
+class MixedDimEmbedding(Module):
+    """One feature: a narrow table plus a projection to the common dim."""
+
+    kind = "mixed-dim"
+
+    def __init__(
+        self,
+        num_rows: int,
+        native_dim: int,
+        output_dim: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if native_dim > output_dim:
+            raise ValueError("native_dim cannot exceed output_dim")
+        self.num_rows = num_rows
+        self.native_dim = native_dim
+        self._output_dim = output_dim
+        self.table = EmbeddingTable(num_rows, native_dim, rng)
+        self.projection = (
+            None if native_dim == output_dim
+            else Linear(native_dim, output_dim, rng, bias=False)
+        )
+
+    @property
+    def output_dim(self) -> int:
+        return self._output_dim
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        narrow = self.table(ids)
+        if self.projection is None:
+            return narrow
+        return self.projection(narrow)
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        grad = grad_output
+        if self.projection is not None:
+            grad = self.projection.backward(grad)
+        self.table.backward(grad)
+        return None
+
+    def flops_per_lookup(self) -> int:
+        if self.projection is None:
+            return 0
+        return 2 * self.native_dim * self._output_dim
+
+    def bytes_per_lookup(self) -> int:
+        return self.native_dim * 4
+
+    def bytes(self) -> int:
+        total = self.table.bytes()
+        if self.projection is not None:
+            total += self.projection.weight.size * 4
+        return total
+
+
+def mixed_dim_bytes(
+    cardinalities: list[int],
+    base_dim: int,
+    alpha: float = 0.3,
+    min_dim: int = 2,
+) -> int:
+    """Footprint of an MD configuration without instantiating it."""
+    total = 0
+    for rows, dim in zip(cardinalities, mixed_dimensions(cardinalities, base_dim, alpha, min_dim)):
+        total += rows * dim * 4
+        if dim != base_dim:
+            total += dim * base_dim * 4  # projection
+    return total

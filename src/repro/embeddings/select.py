@@ -1,0 +1,58 @@
+"""Select embedding representation (Figure 2c).
+
+``select`` chooses table-or-DHE at feature (table) granularity. The paper's
+characterized configuration replaces only the largest tables with DHE stacks
+so the bulk of the features keep fast table lookups. The per-feature choice
+lives in ``EmbeddingCollection``; this module wraps a single feature and is
+mostly a tagged delegate, kept separate so ``kind`` introspection and cost
+accounting are uniform across representations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.dhe import DHEEmbedding
+from repro.embeddings.table import TableEmbedding
+from repro.nn.module import Module
+
+
+class SelectEmbedding(Module):
+    """One feature's embedding under the select representation."""
+
+    kind = "select"
+
+    def __init__(
+        self,
+        num_rows: int,
+        dim: int,
+        use_dhe: bool,
+        k: int,
+        dnn: int,
+        h: int,
+        rng: np.random.Generator,
+        seed: int = 0,
+    ) -> None:
+        self.num_rows = num_rows
+        self.dim = dim
+        self.use_dhe = use_dhe
+        if use_dhe:
+            self.inner: Module = DHEEmbedding(dim, k, dnn, h, rng, seed=seed)
+        else:
+            self.inner = TableEmbedding(num_rows, dim, rng)
+
+    @property
+    def output_dim(self) -> int:
+        return self.dim
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        return self.inner(ids)
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        return self.inner.backward(grad_output)
+
+    def flops_per_lookup(self) -> int:
+        return self.inner.flops_per_lookup()
+
+    def bytes_per_lookup(self) -> int:
+        return self.inner.bytes_per_lookup()

@@ -1,0 +1,41 @@
+"""Table embedding representation (Figure 2a) — the DLRM baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import EmbeddingTable
+from repro.nn.module import Module
+
+
+class TableEmbedding(Module):
+    """Stores one learned vector per sparse ID; lookup at inference.
+
+    This is the memory-bound representation: FLOPs per lookup are ~0 but the
+    table occupies ``num_rows * dim * 4`` bytes and every access is a random
+    DRAM read.
+    """
+
+    kind = "table"
+
+    def __init__(self, num_rows: int, dim: int, rng: np.random.Generator) -> None:
+        self.num_rows = num_rows
+        self.dim = dim
+        self.table = EmbeddingTable(num_rows, dim, rng)
+
+    @property
+    def output_dim(self) -> int:
+        return self.dim
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        return self.table(ids)
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        return self.table.backward(grad_output)
+
+    def flops_per_lookup(self) -> int:
+        return 0
+
+    def bytes_per_lookup(self) -> int:
+        """DRAM traffic per access (one row read)."""
+        return self.dim * 4

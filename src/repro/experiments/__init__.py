@@ -1,0 +1,33 @@
+"""Pre-wired experiment setups shared by benchmarks and examples.
+
+These helpers assemble the paper's evaluation configurations — HW-1/HW-2/
+HW-3 design points, MP-Cache effects, static and dynamic schedulers — from
+the core library so each bench regenerates its table/figure with a few
+calls.
+"""
+
+from repro.experiments.setup import (
+    HW1,
+    HW2,
+    HardwareConfig,
+    dataset_for,
+    default_cache_effect,
+    hw1_devices,
+    hw2_devices,
+    build_plan,
+    build_schedulers,
+    run_serving_comparison,
+)
+
+__all__ = [
+    "HW1",
+    "HW2",
+    "HardwareConfig",
+    "dataset_for",
+    "default_cache_effect",
+    "hw1_devices",
+    "hw2_devices",
+    "build_plan",
+    "build_schedulers",
+    "run_serving_comparison",
+]

@@ -1,0 +1,183 @@
+"""Assembly of the paper's evaluation design points (Section 5.1).
+
+HW-1: CPU (32 GB DRAM) + GPU (32 GB HBM2) — the main evaluation platform.
+HW-2: CPU (1 GB) + GPU (200 MB) — the memory-constrained case study.
+HW-3: CPU (32 GB) + IPU board/pod — the custom-accelerator case study
+(assembled per-bench via ``repro.hardware.topology``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mp_cache import CacheEffect, DecoderCentroidCache, EncoderCache
+from repro.core.offline import MappingPlan, OfflinePlanner
+from repro.core.online import (
+    MultiPathScheduler,
+    Scheduler,
+    StaticScheduler,
+    TableSwitchScheduler,
+)
+from repro.core.profiler import make_path
+from repro.core.representations import RepresentationConfig, paper_configs
+from repro.data.zipf import ZipfSampler
+from repro.hardware.catalog import CPU_BROADWELL, GPU_V100
+from repro.hardware.device import GB, MB, DeviceSpec
+from repro.models.configs import KAGGLE, TERABYTE, ModelConfig
+from repro.quality.estimator import QualityEstimator
+from repro.serving.metrics import ServingResult
+from repro.serving.simulator import ServingSimulator
+from repro.serving.workload import ServingScenario
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    name: str
+    cpu_dram: int
+    gpu_dram: int
+
+
+HW1 = HardwareConfig(name="HW-1", cpu_dram=32 * GB, gpu_dram=32 * GB)
+HW2 = HardwareConfig(name="HW-2", cpu_dram=1 * GB, gpu_dram=200 * MB)
+
+_DATASETS = {"kaggle": KAGGLE, "terabyte": TERABYTE}
+
+
+def dataset_for(model: ModelConfig) -> str:
+    """Quality-estimator dataset key for a model config."""
+    name = model.name.split("-")[0]
+    return name if name in ("kaggle", "terabyte") else "internal"
+
+
+def hw1_devices() -> list[DeviceSpec]:
+    return [
+        CPU_BROADWELL.with_memory_budget(HW1.cpu_dram),
+        GPU_V100.with_memory_budget(HW1.gpu_dram),
+    ]
+
+
+def hw2_devices() -> list[DeviceSpec]:
+    return [
+        CPU_BROADWELL.with_memory_budget(HW2.cpu_dram),
+        GPU_V100.with_memory_budget(HW2.gpu_dram),
+    ]
+
+
+def default_cache_effect(
+    model: ModelConfig,
+    rep: RepresentationConfig,
+    capacity_bytes: int = 2 * MB,
+    n_centroids: int = 256,
+    zipf_alpha: float = 1.05,
+) -> CacheEffect:
+    """MP-Cache effect with the paper's default sizing (2 MB encoder cache,
+    centroid kNN decoder), computed analytically from the traffic model."""
+    samplers = [
+        ZipfSampler(rows, alpha=zipf_alpha, seed=f)
+        for f, rows in enumerate(model.cardinalities)
+    ]
+    encoder = EncoderCache(capacity_bytes, rep.embedding_dim)
+    encoder.fit_static(samplers)
+    hit_rate = encoder.expected_hit_rate(samplers)
+    decoder = DecoderCentroidCache(n_centroids)
+    return CacheEffect(
+        encoder_hit_rate=hit_rate,
+        decoder_speedup=decoder.speedup(rep),
+        accuracy_penalty=0.002,
+    )
+
+
+def build_plan(
+    model: ModelConfig,
+    devices: list[DeviceSpec] | None = None,
+) -> MappingPlan:
+    """Run the offline stage (Algorithm 1) on the given platform."""
+    estimator = QualityEstimator(dataset_for(model))
+    planner = OfflinePlanner(model, estimator)
+    return planner.plan(devices if devices is not None else hw1_devices())
+
+
+def build_schedulers(
+    model: ModelConfig,
+    devices: list[DeviceSpec] | None = None,
+    with_cache: bool = True,
+) -> dict[str, Scheduler]:
+    """All Figure 10 contenders: static deployments, table CPU-GPU
+    switching, and MP-Rec (with MP-Cache unless disabled)."""
+    devices = devices if devices is not None else hw1_devices()
+    cpu, gpu = devices[0], devices[1]
+    estimator = QualityEstimator(dataset_for(model))
+    configs = paper_configs(model)
+
+    def static(rep_name: str, device: DeviceSpec) -> StaticScheduler | None:
+        rep = configs[rep_name]
+        if rep.total_bytes(model) > device.total_memory:
+            return None
+        path = make_path(
+            rep, model, device, estimator.accuracy(rep),
+            label=f"{rep_name.upper()}({device.kind.upper()})",
+        )
+        path.extra["model"] = model
+        return StaticScheduler([path])
+
+    schedulers: dict[str, Scheduler] = {}
+    for rep_name in ("table", "dhe", "hybrid"):
+        for device in (cpu, gpu):
+            sched = static(rep_name, device)
+            if sched is not None:
+                schedulers[f"{rep_name}-{device.kind}"] = sched
+
+    # Table-only CPU<->GPU switching baseline.
+    table_paths = []
+    for device in (cpu, gpu):
+        rep = configs["table"]
+        if rep.total_bytes(model) <= device.total_memory:
+            path = make_path(
+                rep, model, device, estimator.accuracy(rep),
+                label=f"TABLE({device.kind.upper()})",
+            )
+            path.extra["model"] = model
+            table_paths.append(path)
+    if table_paths:
+        schedulers["table-switch"] = TableSwitchScheduler(table_paths)
+
+    # MP-Rec: offline plan -> cached execution paths -> Algorithm 2.
+    plan = build_plan(model, devices)
+    mp_paths = []
+    for device_name, reps in plan.mappings.items():
+        device = plan.devices[device_name]
+        for rep in reps:
+            if rep.uses_dhe and with_cache:
+                effect = default_cache_effect(model, rep)
+                hit, speed = effect.encoder_hit_rate, effect.decoder_speedup
+                accuracy = plan.accuracies[rep.display] - effect.accuracy_penalty
+            else:
+                hit, speed = 0.0, 1.0
+                accuracy = plan.accuracies[rep.display]
+            path = make_path(
+                rep, model, device, accuracy,
+                encoder_hit_rate=hit, decoder_speedup=speed,
+                label=f"{rep.kind.upper()}({device.kind.upper()})",
+            )
+            path.extra["model"] = model
+            mp_paths.append(path)
+    schedulers["mp-rec"] = MultiPathScheduler(mp_paths)
+    return schedulers
+
+
+def run_serving_comparison(
+    model: ModelConfig,
+    scenario: ServingScenario | None = None,
+    devices: list[DeviceSpec] | None = None,
+    with_cache: bool = True,
+    subset: tuple[str, ...] = (),
+) -> dict[str, ServingResult]:
+    """Run every scheduler through the scenario; returns results by name."""
+    scenario = scenario or ServingScenario.paper_default()
+    schedulers = build_schedulers(model, devices, with_cache=with_cache)
+    if subset:
+        schedulers = {k: v for k, v in schedulers.items() if k in subset}
+    return {
+        name: ServingSimulator(sched).run(scenario)
+        for name, sched in schedulers.items()
+    }

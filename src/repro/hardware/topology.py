@@ -1,0 +1,89 @@
+"""Multi-chip placement strategies (Figure 6, Section 3.4).
+
+``plan_ipu_placement`` reproduces the paper's Figure 6 decision tree for a
+given model footprint: a model that fits one chip's 900 MB scratchpad is
+replicated across all chips (full data parallelism — DHE's sweet spot); one
+that fits a 4-chip board's aggregate SRAM is pipelined per board and the
+board plan replicated across the pod; one that only fits the pod's combined
+SRAM is sharded (each chip a unique shard — no data parallelism, the
+Terabyte table/hybrid limitation of Insight 6); anything larger spills to
+Streaming Memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.hardware.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class ShardedPlacement:
+    """How a model maps onto a multi-chip platform."""
+
+    device: DeviceSpec  # spec with parallelism/replicas set for the strategy
+    strategy: str  # "data" | "pipeline" | "sharded" | "spill"
+    fits_on_chip: bool
+    spilled_bytes: int = 0
+    replicas: int = 1  # concurrent whole-query servers
+
+
+def scale_out(device: DeviceSpec, n_chips: int, parallelism: str = "replicated") -> DeviceSpec:
+    """Compose ``n_chips`` copies of a single-chip spec into one platform."""
+    if n_chips < 1:
+        raise ValueError("n_chips must be >= 1")
+    if parallelism not in ("data", "replicated", "pipeline", "sharded"):
+        raise ValueError(f"unknown parallelism {parallelism!r}")
+    replicas = n_chips if parallelism == "replicated" else 1
+    return replace(
+        device,
+        name=f"{device.name}-x{n_chips}-{parallelism}",
+        peak_flops=device.peak_flops * n_chips,
+        dram_bandwidth=device.dram_bandwidth * n_chips,
+        dram_capacity=device.dram_capacity * n_chips,
+        sram_capacity=device.sram_capacity * n_chips,
+        sram_bandwidth=device.sram_bandwidth * n_chips,
+        tdp_w=device.tdp_w * n_chips,
+        idle_w=device.idle_w * n_chips,
+        n_chips=device.n_chips * n_chips,
+        parallelism=parallelism,
+        replicas=replicas,
+    )
+
+
+def plan_ipu_placement(model_bytes: int, pod: DeviceSpec) -> ShardedPlacement:
+    """Decide how a model of ``model_bytes`` runs on an IPU platform."""
+    if model_bytes < 0:
+        raise ValueError("model_bytes must be non-negative")
+    chips = max(1, pod.n_chips)
+    sram_per_chip = pod.sram_per_chip
+    if model_bytes <= sram_per_chip:
+        return ShardedPlacement(
+            device=replace(pod, parallelism="replicated", replicas=chips),
+            strategy="data",
+            fits_on_chip=True,
+            replicas=chips,
+        )
+    chips_per_board = min(4, chips)
+    boards = max(1, chips // chips_per_board)
+    if model_bytes <= sram_per_chip * chips_per_board:
+        return ShardedPlacement(
+            device=replace(pod, parallelism="pipeline", replicas=boards),
+            strategy="pipeline",
+            fits_on_chip=False,
+            replicas=boards,
+        )
+    if model_bytes <= pod.sram_capacity:
+        return ShardedPlacement(
+            device=replace(pod, parallelism="sharded", replicas=1),
+            strategy="sharded",
+            fits_on_chip=False,
+            replicas=1,
+        )
+    return ShardedPlacement(
+        device=replace(pod, parallelism="sharded", replicas=1),
+        strategy="spill",
+        fits_on_chip=False,
+        spilled_bytes=model_bytes - pod.sram_capacity,
+        replicas=1,
+    )

@@ -1,0 +1,24 @@
+"""Deep Learning Recommendation Model (DLRM) with pluggable embeddings."""
+
+from repro.models.dlrm import DLRM, build_dlrm
+from repro.models.interactions import DotInteraction
+from repro.models.configs import (
+    ModelConfig,
+    KAGGLE,
+    TERABYTE,
+    KAGGLE_MINI,
+    TERABYTE_MINI,
+    scaled_config,
+)
+
+__all__ = [
+    "DLRM",
+    "build_dlrm",
+    "DotInteraction",
+    "ModelConfig",
+    "KAGGLE",
+    "TERABYTE",
+    "KAGGLE_MINI",
+    "TERABYTE_MINI",
+    "scaled_config",
+]

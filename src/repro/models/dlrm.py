@@ -1,0 +1,144 @@
+"""DLRM (Naumov et al. 2019) with a pluggable embedding representation.
+
+Architecture: dense features -> bottom MLP; sparse features -> embedding
+representation (table / DHE / select / hybrid); dot-product interaction of
+the bottom output with all embedding vectors; top MLP -> CTR logit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.collection import EmbeddingCollection
+from repro.embeddings.dhe import DHEEmbedding
+from repro.embeddings.hybrid import HybridEmbedding
+from repro.embeddings.select import SelectEmbedding
+from repro.embeddings.table import TableEmbedding
+from repro.embeddings.ttrec import TTEmbedding
+from repro.models.configs import ModelConfig
+from repro.models.interactions import DotInteraction
+from repro.nn.layers import MLP
+from repro.nn.module import Module
+
+
+class DLRM(Module):
+    def __init__(
+        self,
+        bottom_mlp: MLP,
+        embeddings: EmbeddingCollection,
+        top_mlp: MLP,
+    ) -> None:
+        if bottom_mlp.layer_sizes[-1] != embeddings.output_dim:
+            raise ValueError(
+                "bottom MLP output dim must equal the embedding output dim "
+                f"({bottom_mlp.layer_sizes[-1]} != {embeddings.output_dim})"
+            )
+        expected = DotInteraction.output_dim(
+            embeddings.output_dim, embeddings.n_features
+        )
+        if top_mlp.layer_sizes[0] != expected:
+            raise ValueError(
+                f"top MLP input dim must be {expected}, got {top_mlp.layer_sizes[0]}"
+            )
+        self.bottom_mlp = bottom_mlp
+        self.embeddings = embeddings
+        self.interaction = DotInteraction()
+        self.top_mlp = top_mlp
+
+    def forward(self, dense: np.ndarray, sparse_ids: np.ndarray) -> np.ndarray:
+        """Return CTR logits of shape ``[batch]``."""
+        z0 = self.bottom_mlp(dense)
+        emb = self.embeddings(sparse_ids)
+        interacted = self.interaction(z0, emb)
+        return self.top_mlp(interacted)[:, 0]
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        grad = self.top_mlp.backward(grad_logits[:, None])
+        grad_z0, grad_emb = self.interaction.backward(grad)
+        self.bottom_mlp.backward(grad_z0)
+        self.embeddings.backward(grad_emb)
+        return None
+
+    def predict_proba(self, dense: np.ndarray, sparse_ids: np.ndarray) -> np.ndarray:
+        logits = self.forward(dense, sparse_ids)
+        return 1.0 / (1.0 + np.exp(-logits))
+
+    def flops_per_sample(self) -> int:
+        dense_flops = self.bottom_mlp.flops(1) + self.top_mlp.flops(1)
+        interaction = DotInteraction.flops(
+            1, self.embeddings.output_dim, self.embeddings.n_features
+        )
+        return dense_flops + interaction + self.embeddings.flops_per_sample()
+
+
+def build_dlrm(
+    config: ModelConfig,
+    representation: str,
+    rng: np.random.Generator,
+    k: int = 32,
+    dnn: int = 64,
+    h: int = 2,
+    table_dim: int | None = None,
+    dhe_dim: int | None = None,
+    dhe_features: set[int] | frozenset[int] = frozenset(),
+    tt_rank: int = 8,
+) -> DLRM:
+    """Assemble a DLRM whose embeddings use the given representation.
+
+    ``representation``: ``table`` | ``dhe`` | ``select`` | ``hybrid`` |
+    ``ttrec``. For ``select``, ``dhe_features`` lists feature indices that
+    use DHE (the paper replaces the 3 largest tables). For ``hybrid``, the
+    embedding output dim is ``table_dim + dhe_dim`` (defaults: half of
+    embedding_dim each). ``ttrec`` is the tensor-train baseline the paper
+    compares DHE against (Section 2.2); ``tt_rank`` sets its TT-rank.
+    """
+    dim = config.embedding_dim
+    features: list[Module] = []
+    if representation == "table":
+        features = [
+            TableEmbedding(rows, dim, rng) for rows in config.cardinalities
+        ]
+        out_dim = dim
+    elif representation == "dhe":
+        features = [
+            DHEEmbedding(dim, k, dnn, h, rng, seed=1000 + f)
+            for f in range(config.n_sparse)
+        ]
+        out_dim = dim
+    elif representation == "select":
+        chosen = set(dhe_features) or _largest_features(config, 3)
+        features = [
+            SelectEmbedding(rows, dim, f in chosen, k, dnn, h, rng, seed=1000 + f)
+            for f, rows in enumerate(config.cardinalities)
+        ]
+        out_dim = dim
+    elif representation == "hybrid":
+        t_dim = table_dim if table_dim is not None else max(1, dim // 2)
+        g_dim = dhe_dim if dhe_dim is not None else dim - t_dim
+        features = [
+            HybridEmbedding(rows, t_dim, g_dim, k, dnn, h, rng, seed=1000 + f)
+            for f, rows in enumerate(config.cardinalities)
+        ]
+        out_dim = t_dim + g_dim
+    elif representation == "ttrec":
+        features = [
+            TTEmbedding(rows, dim, tt_rank, rng) for rows in config.cardinalities
+        ]
+        out_dim = dim
+    else:
+        raise ValueError(f"unknown representation {representation!r}")
+
+    collection = EmbeddingCollection(features)
+    bottom_sizes = [config.n_dense, *config.bottom_mlp, out_dim]
+    interaction_dim = DotInteraction.output_dim(out_dim, config.n_sparse)
+    top_sizes = [interaction_dim, *config.top_mlp, 1]
+    bottom = MLP(bottom_sizes, rng, hidden_activation="relu")
+    top = MLP(top_sizes, rng, hidden_activation="relu")
+    return DLRM(bottom, collection, top)
+
+
+def _largest_features(config: ModelConfig, n: int) -> set[int]:
+    order = sorted(
+        range(config.n_sparse), key=lambda f: config.cardinalities[f], reverse=True
+    )
+    return set(order[:n])

@@ -1,0 +1,63 @@
+"""DLRM's dot-product feature interaction with explicit backward."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class DotInteraction(Module):
+    """Pairwise dot products among the dense vector and all embeddings.
+
+    Inputs: bottom-MLP output ``z0`` of shape ``[B, d]`` and embeddings ``E``
+    of shape ``[B, F, d]``. Output: ``[B, d + (F+1)F/2]`` — ``z0`` concatenated
+    with the strictly-lower-triangular entries of the Gram matrix of the
+    ``F+1`` vectors, exactly as in facebookresearch/dlrm.
+    """
+
+    def forward(self, z0: np.ndarray, embeddings: np.ndarray) -> np.ndarray:
+        if z0.ndim != 2 or embeddings.ndim != 3:
+            raise ValueError("z0 must be [B, d]; embeddings must be [B, F, d]")
+        if z0.shape[0] != embeddings.shape[0] or z0.shape[1] != embeddings.shape[2]:
+            raise ValueError(
+                f"incompatible shapes {z0.shape} and {embeddings.shape}: the "
+                "bottom-MLP output dim must equal the embedding dim"
+            )
+        stacked = np.concatenate([z0[:, None, :], embeddings], axis=1)  # [B, N, d]
+        n_vectors = stacked.shape[1]
+        gram = stacked @ stacked.transpose(0, 2, 1)  # [B, N, N]
+        rows, cols = np.tril_indices(n_vectors, k=-1)
+        self._stacked = stacked
+        self._tril = (rows, cols)
+        self._d = z0.shape[1]
+        return np.concatenate([z0, gram[:, rows, cols]], axis=1)
+
+    def backward(self, grad_output: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        d = self._d
+        stacked = self._stacked
+        rows, cols = self._tril
+        batch, n_vectors, _ = stacked.shape
+
+        grad_z0_direct = grad_output[:, :d]
+        grad_pairs = grad_output[:, d:]
+
+        grad_gram = np.zeros((batch, n_vectors, n_vectors))
+        grad_gram[:, rows, cols] = grad_pairs
+        # d(gram)/d(stacked): gram = S S^T, so dS = (G + G^T) S.
+        sym = grad_gram + grad_gram.transpose(0, 2, 1)
+        grad_stacked = sym @ stacked
+
+        grad_z0 = grad_stacked[:, 0, :] + grad_z0_direct
+        grad_embeddings = grad_stacked[:, 1:, :]
+        return grad_z0, grad_embeddings
+
+    @staticmethod
+    def output_dim(dim: int, n_features: int) -> int:
+        n_vectors = n_features + 1
+        return dim + n_vectors * (n_vectors - 1) // 2
+
+    @staticmethod
+    def flops(batch_size: int, dim: int, n_features: int) -> int:
+        n_vectors = n_features + 1
+        return 2 * batch_size * n_vectors * n_vectors * dim

@@ -1,0 +1,39 @@
+"""Minimal neural-network substrate built on numpy.
+
+The paper trains DLRM variants in PyTorch; this environment has no torch, so
+``repro.nn`` provides the pieces DLRM needs — dense layers, activations, an
+embedding table with sparse gradient accumulation, losses, and optimizers —
+each with an explicit, numerically-verified ``backward``.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Linear, MLP, EmbeddingTable, EmbeddingBag
+from repro.nn.activations import Identity, ReLU, Sigmoid, Tanh
+from repro.nn.losses import bce_with_logits, mse
+from repro.nn.optim import SGD, Adagrad, Optimizer
+from repro.nn.gradcheck import numerical_gradient, check_module_gradients
+from repro.nn.serialization import save_model, load_model, state_dict, load_state_dict
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "MLP",
+    "EmbeddingTable",
+    "EmbeddingBag",
+    "Identity",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "bce_with_logits",
+    "mse",
+    "SGD",
+    "Adagrad",
+    "Optimizer",
+    "numerical_gradient",
+    "check_module_gradients",
+    "save_model",
+    "load_model",
+    "state_dict",
+    "load_state_dict",
+]

@@ -1,0 +1,78 @@
+"""Numerical gradient checking used by the test suite.
+
+Every layer's analytic backward is validated against central differences;
+this module provides the shared machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def numerical_gradient(
+    func: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``func`` w.r.t. array ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = func(x)
+        flat[i] = orig - eps
+        f_minus = func(x)
+        flat[i] = orig
+        grad_flat[i] = (f_plus - f_minus) / (2.0 * eps)
+    return grad
+
+
+def check_module_gradients(
+    module: Module,
+    x: np.ndarray,
+    rng: np.random.Generator,
+    eps: float = 1e-6,
+    atol: float = 1e-6,
+    rtol: float = 1e-4,
+) -> float:
+    """Compare analytic input/parameter grads against numerical ones.
+
+    Uses a random linear functional ``loss = sum(out * probe)`` so every output
+    element contributes. Returns the max absolute error observed; raises
+    ``AssertionError`` when any gradient disagrees beyond tolerance.
+    """
+    out = module(x)
+    probe = rng.standard_normal(out.shape)
+    module.zero_grad()
+    grad_in = module.backward(probe)
+
+    def loss_of_input(x_val: np.ndarray) -> float:
+        return float(np.sum(module(x_val) * probe))
+
+    max_err = 0.0
+    if grad_in is not None:
+        num = numerical_gradient(loss_of_input, x.copy(), eps=eps)
+        err = np.max(np.abs(num - grad_in))
+        max_err = max(max_err, float(err))
+        np.testing.assert_allclose(grad_in, num, atol=atol, rtol=rtol)
+
+    for name, param in module.named_parameters():
+        def loss_of_param(p_val: np.ndarray, _param=param) -> float:
+            saved = _param.data.copy()
+            _param.data = p_val
+            val = float(np.sum(module(x) * probe))
+            _param.data = saved
+            return val
+
+        num = numerical_gradient(loss_of_param, param.data.copy(), eps=eps)
+        err = np.max(np.abs(num - param.grad))
+        max_err = max(max_err, float(err))
+        np.testing.assert_allclose(
+            param.grad, num, atol=atol, rtol=rtol, err_msg=f"param {name}"
+        )
+    return max_err

@@ -1,0 +1,208 @@
+"""Dense and embedding layers for the numpy NN substrate."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.activations import make_activation
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` with Xavier-uniform initialization."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+        name: str = "linear",
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("layer dimensions must be positive")
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            rng.uniform(-limit, limit, size=(in_features, out_features)),
+            name=f"{name}.weight",
+        )
+        self.bias = (
+            Parameter(np.zeros(out_features), name=f"{name}.bias") if bias else None
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected input dim {self.in_features}, got {x.shape[-1]}"
+            )
+        self._x = x
+        out = x @ self.weight.data
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x2d = self._x.reshape(-1, self.in_features)
+        g2d = grad_output.reshape(-1, self.out_features)
+        self.weight.grad += x2d.T @ g2d
+        if self.bias is not None:
+            self.bias.grad += g2d.sum(axis=0)
+        return grad_output @ self.weight.data.T
+
+    def flops(self, batch_size: int) -> int:
+        """Multiply-accumulate FLOPs for one forward pass (2 per MAC)."""
+        return 2 * batch_size * self.in_features * self.out_features
+
+
+class MLP(Module):
+    """A stack of ``Linear`` layers with a shared hidden activation.
+
+    ``layer_sizes`` includes input and output dims, e.g. ``[13, 512, 256, 64]``.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        rng: np.random.Generator,
+        hidden_activation: str = "relu",
+        output_activation: str = "identity",
+        name: str = "mlp",
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        self.layer_sizes = list(layer_sizes)
+        self.layers: list[Module] = []
+        n_affine = len(layer_sizes) - 1
+        for i in range(n_affine):
+            self.layers.append(
+                Linear(layer_sizes[i], layer_sizes[i + 1], rng, name=f"{name}.fc{i}")
+            )
+            act = hidden_activation if i < n_affine - 1 else output_activation
+            self.layers.append(make_activation(act))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def flops(self, batch_size: int) -> int:
+        return sum(
+            layer.flops(batch_size) for layer in self.layers if isinstance(layer, Linear)
+        )
+
+
+class EmbeddingBag(Module):
+    """Multi-hot embedding lookup with sum/mean pooling.
+
+    Production recommenders feed variable-length ID lists per feature
+    (e.g. "pages liked"); ``forward(ids, offsets)`` follows the
+    torch.nn.EmbeddingBag convention — ``offsets[i]`` is where bag ``i``
+    starts inside the flat ``ids`` array — and pools each bag into one
+    vector.
+    """
+
+    def __init__(
+        self,
+        num_rows: int,
+        dim: int,
+        rng: np.random.Generator,
+        mode: str = "sum",
+        name: str = "bag",
+    ) -> None:
+        if mode not in ("sum", "mean"):
+            raise ValueError("mode must be 'sum' or 'mean'")
+        if num_rows <= 0 or dim <= 0:
+            raise ValueError("num_rows and dim must be positive")
+        self.num_rows = num_rows
+        self.dim = dim
+        self.mode = mode
+        scale = 1.0 / np.sqrt(num_rows)
+        self.weight = Parameter(
+            rng.uniform(-scale, scale, size=(num_rows, dim)), name=f"{name}.weight"
+        )
+
+    def forward(self, ids: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if offsets.ndim != 1 or ids.ndim != 1:
+            raise ValueError("ids and offsets must be 1D")
+        if offsets.size and (offsets[0] != 0 or np.any(np.diff(offsets) < 0)):
+            raise ValueError("offsets must start at 0 and be non-decreasing")
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_rows):
+            raise IndexError(f"ids out of range for {self.num_rows} rows")
+        n_bags = offsets.size
+        bounds = np.append(offsets, ids.size)
+        lengths = np.diff(bounds)
+        gathered = self.weight.data[ids]
+        out = np.zeros((n_bags, self.dim))
+        bag_of = np.repeat(np.arange(n_bags), lengths)
+        np.add.at(out, bag_of, gathered)
+        if self.mode == "mean":
+            out /= np.maximum(lengths, 1)[:, None]
+        self._ids = ids
+        self._bag_of = bag_of
+        self._lengths = lengths
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        grad = grad_output
+        if self.mode == "mean":
+            grad = grad / np.maximum(self._lengths, 1)[:, None]
+        per_id_grad = grad[self._bag_of]
+        np.add.at(self.weight.grad, self._ids, per_id_grad)
+        return None
+
+    def bytes(self, dtype_bytes: int = 4) -> int:
+        return self.num_rows * self.dim * dtype_bytes
+
+
+class EmbeddingTable(Module):
+    """Learned embedding table with single-lookup access and sparse grads.
+
+    ``forward`` takes integer IDs of any shape and returns vectors of shape
+    ``ids.shape + (dim,)``. The backward pass scatter-adds into the weight
+    gradient (duplicate IDs within a batch accumulate, as in EmbeddingBag).
+    """
+
+    def __init__(
+        self,
+        num_rows: int,
+        dim: int,
+        rng: np.random.Generator,
+        name: str = "table",
+    ) -> None:
+        if num_rows <= 0 or dim <= 0:
+            raise ValueError("num_rows and dim must be positive")
+        self.num_rows = num_rows
+        self.dim = dim
+        scale = 1.0 / np.sqrt(num_rows)
+        self.weight = Parameter(
+            rng.uniform(-scale, scale, size=(num_rows, dim)), name=f"{name}.weight"
+        )
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_rows):
+            raise IndexError(
+                f"ids out of range for table with {self.num_rows} rows"
+            )
+        self._ids = ids
+        return self.weight.data[ids]
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        flat_ids = self._ids.reshape(-1)
+        flat_grad = grad_output.reshape(-1, self.dim)
+        np.add.at(self.weight.grad, flat_ids, flat_grad)
+        return None
+
+    def bytes(self, dtype_bytes: int = 4) -> int:
+        return self.num_rows * self.dim * dtype_bytes

@@ -1,0 +1,44 @@
+"""Loss functions returning ``(loss, grad_wrt_input)`` pairs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bce_with_logits(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean binary cross-entropy on raw logits (numerically stable).
+
+    Returns the scalar loss and the gradient w.r.t. ``logits`` (already divided
+    by the batch size, so it can be fed straight into ``Module.backward``).
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if logits.shape != labels.shape:
+        raise ValueError(f"shape mismatch: {logits.shape} vs {labels.shape}")
+    # softplus(z) - y*z, with softplus computed stably.
+    softplus = np.maximum(logits, 0.0) + np.log1p(np.exp(-np.abs(logits)))
+    loss = float(np.mean(softplus - labels * logits))
+    probs = _sigmoid(logits)
+    grad = (probs - labels) / logits.size
+    return loss, grad
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error and its gradient w.r.t. ``pred``."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    diff = pred - target
+    loss = float(np.mean(diff**2))
+    grad = 2.0 * diff / pred.size
+    return loss, grad
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    exp_x = np.exp(x[~pos])
+    out[~pos] = exp_x / (1.0 + exp_x)
+    return out

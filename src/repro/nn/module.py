@@ -1,0 +1,88 @@
+"""Base classes for the numpy NN substrate: ``Parameter`` and ``Module``."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient.
+
+    Gradients are accumulated (``+=``) by each module's ``backward`` so a
+    single parameter can be shared by several modules; call
+    ``Module.zero_grad`` between optimizer steps.
+    """
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:
+        label = self.name or "param"
+        return f"Parameter({label}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses implement ``forward`` (caching whatever ``backward`` needs)
+    and ``backward`` (returning the gradient w.r.t. the forward input and
+    accumulating gradients into their parameters). Parameters and submodules
+    are discovered by attribute introspection, like a tiny ``torch.nn``.
+    """
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def backward(self, grad_output):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for attr, value in vars(self).items():
+            name = f"{prefix}{attr}" if not prefix else f"{prefix}.{attr}"
+            if isinstance(value, Parameter):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(name)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{name}[{i}]")
+                    elif isinstance(item, Parameter):
+                        yield f"{name}[{i}]", item
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def footprint_bytes(self, dtype_bytes: int = 4) -> int:
+        """Deployment footprint assuming fp32 storage (the paper's metric)."""
+        return self.num_parameters() * dtype_bytes
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(params={self.num_parameters()})"

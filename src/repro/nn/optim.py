@@ -1,0 +1,68 @@
+"""Optimizers operating on ``Parameter`` lists."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer; subclasses implement ``_update``."""
+
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not params:
+            raise ValueError("optimizer received no parameters")
+        self.params = list(params)
+        self.lr = lr
+
+    def step(self) -> None:
+        for param in self.params:
+            self._update(param)
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def _update(self, param: Parameter) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self, params: list[Parameter], lr: float = 0.1, momentum: float = 0.0
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity = {id(p): np.zeros_like(p.data) for p in self.params}
+
+    def _update(self, param: Parameter) -> None:
+        if self.momentum:
+            vel = self._velocity[id(param)]
+            vel *= self.momentum
+            vel += param.grad
+            param.data -= self.lr * vel
+        else:
+            param.data -= self.lr * param.grad
+
+
+class Adagrad(Optimizer):
+    """Adagrad — the optimizer DLRM uses for sparse embedding parameters."""
+
+    def __init__(
+        self, params: list[Parameter], lr: float = 0.01, eps: float = 1e-10
+    ) -> None:
+        super().__init__(params, lr)
+        self.eps = eps
+        self._accum = {id(p): np.zeros_like(p.data) for p in self.params}
+
+    def _update(self, param: Parameter) -> None:
+        accum = self._accum[id(param)]
+        accum += param.grad**2
+        param.data -= self.lr * param.grad / (np.sqrt(accum) + self.eps)

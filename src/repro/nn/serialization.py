@@ -1,0 +1,60 @@
+"""Model checkpointing: save/load parameters by qualified name.
+
+State is stored as a compressed ``.npz`` keyed by ``named_parameters``
+paths, so any module tree built the same way round-trips — the offline
+stage's "train all representations" output can be persisted and reloaded
+into serving processes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def state_dict(module: Module) -> dict[str, np.ndarray]:
+    """Parameter arrays keyed by their qualified names."""
+    state = {}
+    for name, param in module.named_parameters():
+        if name in state:
+            raise ValueError(f"duplicate parameter name {name!r}")
+        state[name] = param.data
+    return state
+
+
+def load_state_dict(module: Module, state: dict[str, np.ndarray]) -> None:
+    """Copy arrays into the module's parameters (strict name/shape match)."""
+    params = dict(module.named_parameters())
+    missing = set(params) - set(state)
+    unexpected = set(state) - set(params)
+    if missing or unexpected:
+        raise KeyError(
+            f"state mismatch: missing={sorted(missing)}, "
+            f"unexpected={sorted(unexpected)}"
+        )
+    for name, param in params.items():
+        value = np.asarray(state[name])
+        if value.shape != param.data.shape:
+            raise ValueError(
+                f"shape mismatch for {name}: checkpoint {value.shape} vs "
+                f"model {param.data.shape}"
+            )
+        param.data[...] = value
+
+
+def save_model(module: Module, path: str | Path) -> Path:
+    """Write a compressed checkpoint; returns the path written."""
+    path = Path(path)
+    np.savez_compressed(path, **state_dict(module))
+    # np.savez appends .npz when absent.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_model(module: Module, path: str | Path) -> Module:
+    """Load a checkpoint into an already-constructed module (in place)."""
+    with np.load(Path(path)) as archive:
+        load_state_dict(module, {name: archive[name] for name in archive.files})
+    return module

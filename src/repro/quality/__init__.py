@@ -1,0 +1,14 @@
+"""Model-quality estimation for representation configurations."""
+
+from repro.quality.calibration import DatasetAnchors, ANCHORS
+from repro.quality.estimator import QualityEstimator
+from repro.quality.fitting import FittedCurve, fit_k_curve, fit_quality_residual
+
+__all__ = [
+    "QualityEstimator",
+    "DatasetAnchors",
+    "ANCHORS",
+    "FittedCurve",
+    "fit_k_curve",
+    "fit_quality_residual",
+]

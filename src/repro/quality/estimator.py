@@ -1,0 +1,80 @@
+"""Calibrated accuracy model over representation configurations.
+
+``QualityEstimator.accuracy`` is deterministic and monotone in the
+characteristics the paper established (Section 3.1): more hash functions
+help until saturation, decoder width/height barely matter, hybrid sits on
+top of both mechanisms, and shrinking table dims costs accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.representations import RepresentationConfig
+from repro.quality.calibration import ANCHORS, DatasetAnchors
+
+
+class QualityEstimator:
+    def __init__(self, dataset: str) -> None:
+        try:
+            self.anchors: DatasetAnchors = ANCHORS[dataset]
+        except KeyError:
+            raise KeyError(
+                f"unknown dataset {dataset!r}; known: {sorted(ANCHORS)}"
+            ) from None
+
+    # ---- component curves ----------------------------------------------
+
+    def table_accuracy(self, dim: int) -> float:
+        """Table accuracy vs. embedding dim (halving below reference costs
+        ``dim_penalty_per_halving``; growing beyond reference saturates)."""
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        a = self.anchors
+        if dim >= a.reference_dim:
+            # Mild diminishing returns above the tuned baseline dim.
+            bonus = 0.01 * math.log2(dim / a.reference_dim)
+            return a.table_accuracy + min(bonus, 0.02)
+        halvings = math.log2(a.reference_dim / dim)
+        return a.table_accuracy - a.dim_penalty_per_halving * halvings
+
+    def dhe_gain(self, k: int, dnn: int, h: int) -> float:
+        """DHE accuracy relative to the table baseline, saturating in k."""
+        a = self.anchors
+        max_gain = a.dhe_accuracy - a.table_accuracy
+        floor = -a.dhe_floor_offset
+        span = max_gain - floor
+        k_term = 1.0 - math.exp(-k / a.k_saturation)
+        # Decoder shape has a second-order effect (Figure 4: same-k points
+        # cluster): +-0.01 spread across the explored widths/heights.
+        decoder_capacity = max(1, dnn * max(1, h))
+        decoder_term = 0.01 * math.tanh(math.log(decoder_capacity / 256.0))
+        return floor + span * k_term + decoder_term
+
+    # ---- public API ------------------------------------------------------
+
+    def accuracy(self, rep: RepresentationConfig) -> float:
+        """Predicted CTR accuracy (percent) of a trained model using ``rep``."""
+        a = self.anchors
+        if rep.kind == "table":
+            return self.table_accuracy(rep.embedding_dim)
+        if rep.kind == "dhe":
+            return a.table_accuracy + self.dhe_gain(rep.k, rep.dnn, rep.h)
+        if rep.kind == "select":
+            # Replacing a few tables with DHE moves part-way to full DHE.
+            fraction = min(1.0, rep.n_dhe_features / 26.0 * 3.0)
+            return a.table_accuracy + fraction * max(
+                0.0, self.dhe_gain(rep.k, rep.dnn, rep.h)
+            ) * 0.6
+        if rep.kind == "hybrid":
+            synergy = a.hybrid_accuracy - a.dhe_accuracy
+            base = self.table_accuracy(rep.table_dim)
+            gain = max(0.0, self.dhe_gain(rep.k, rep.dnn, rep.h))
+            saturation = 1.0 - math.exp(-rep.k / a.k_saturation)
+            return base + gain + synergy * saturation
+        raise ValueError(f"unknown kind {rep.kind!r}")
+
+    def best(self, reps: list[RepresentationConfig]) -> RepresentationConfig:
+        if not reps:
+            raise ValueError("no representations given")
+        return max(reps, key=self.accuracy)

@@ -1,0 +1,76 @@
+"""Fit accuracy-vs-k curves from measured training runs.
+
+The estimator ships with anchors from the paper; when users train their own
+sweeps (any dataset), this module fits the same saturating-exponential form
+``acc(k) = ceiling - span * exp(-k / k0)`` so Algorithm 1 can rank unseen
+configurations on new workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import least_squares
+
+
+@dataclass(frozen=True)
+class FittedCurve:
+    ceiling: float  # accuracy as k -> infinity
+    span: float  # ceiling minus the k -> 0 floor
+    k0: float  # saturation constant
+
+    def accuracy(self, k: float) -> float:
+        return self.ceiling - self.span * np.exp(-k / self.k0)
+
+    @property
+    def floor(self) -> float:
+        return self.ceiling - self.span
+
+    def k_for_accuracy(self, target: float) -> float:
+        """Smallest k reaching ``target`` accuracy (inf if unreachable)."""
+        if target >= self.ceiling:
+            return float("inf")
+        if target <= self.floor:
+            return 0.0
+        return float(-self.k0 * np.log((self.ceiling - target) / self.span))
+
+
+def fit_k_curve(
+    ks: np.ndarray,
+    accuracies: np.ndarray,
+    k0_init: float = 256.0,
+) -> FittedCurve:
+    """Least-squares fit of the saturating form to (k, accuracy) pairs."""
+    ks = np.asarray(ks, dtype=np.float64)
+    accuracies = np.asarray(accuracies, dtype=np.float64)
+    if ks.shape != accuracies.shape or ks.size < 3:
+        raise ValueError("need >= 3 matching (k, accuracy) points")
+    if np.any(ks <= 0):
+        raise ValueError("k values must be positive")
+
+    ceiling0 = accuracies.max()
+    span0 = max(accuracies.max() - accuracies.min(), 1e-6)
+
+    def residuals(theta):
+        ceiling, log_span, log_k0 = theta
+        curve = ceiling - np.exp(log_span) * np.exp(-ks / np.exp(log_k0))
+        return curve - accuracies
+
+    fit = least_squares(
+        residuals,
+        x0=[ceiling0, np.log(span0), np.log(k0_init)],
+        method="lm",
+    )
+    ceiling, log_span, log_k0 = fit.x
+    return FittedCurve(
+        ceiling=float(ceiling),
+        span=float(np.exp(log_span)),
+        k0=float(np.exp(log_k0)),
+    )
+
+
+def fit_quality_residual(curve: FittedCurve, ks: np.ndarray, accs: np.ndarray) -> float:
+    """RMS error of a fitted curve on held-out points."""
+    preds = np.array([curve.accuracy(k) for k in np.asarray(ks)])
+    return float(np.sqrt(np.mean((preds - np.asarray(accs)) ** 2)))

@@ -1,0 +1,7 @@
+"""Discrete-event query-serving simulation (Sections 5.3-6.8)."""
+
+from repro.serving.metrics import ServingResult, QueryRecord
+from repro.serving.simulator import ServingSimulator
+from repro.serving.workload import ServingScenario
+
+__all__ = ["ServingResult", "QueryRecord", "ServingSimulator", "ServingScenario"]

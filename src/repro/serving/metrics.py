@@ -1,0 +1,154 @@
+"""Serving metrics: throughput of correct predictions, SLA violations,
+switching breakdowns, and energy (Section 5.4)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One served query's outcome."""
+
+    index: int
+    size: int
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    path_label: str
+    accuracy: float  # percent
+    energy_j: float = 0.0
+    dropped: bool = False  # shed by an overload policy before execution
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+    @property
+    def correct_samples(self) -> float:
+        if self.dropped:
+            return 0.0
+        return self.size * self.accuracy / 100.0
+
+
+@dataclass
+class ServingResult:
+    """Aggregated outcome of one simulated serving run."""
+
+    scheduler_name: str
+    sla_s: float
+    records: list[QueryRecord] = field(default_factory=list)
+
+    # ---- core paper metrics ----------------------------------------------
+
+    @property
+    def makespan_s(self) -> float:
+        if not self.records:
+            return 0.0
+        return max(r.finish_s for r in self.records)
+
+    @property
+    def total_samples(self) -> int:
+        return sum(r.size for r in self.records)
+
+    @property
+    def raw_throughput(self) -> float:
+        """Samples served per second."""
+        span = self.makespan_s
+        return self.total_samples / span if span > 0 else 0.0
+
+    @property
+    def correct_prediction_throughput(self) -> float:
+        """QPS x QuerySize x Accuracy, aggregated (Section 5.4)."""
+        span = self.makespan_s
+        if span <= 0:
+            return 0.0
+        return sum(r.correct_samples for r in self.records) / span
+
+    @property
+    def compliant_correct_throughput(self) -> float:
+        """Correct predictions per second counting only SLA-compliant
+        queries — a late recommendation response is worthless to the
+        requesting page, so tight targets penalize slow deployments even
+        when their raw throughput keeps up (Figure 13, right)."""
+        span = self.makespan_s
+        if span <= 0:
+            return 0.0
+        compliant = sum(
+            r.correct_samples for r in self.records if r.latency_s <= self.sla_s
+        )
+        return compliant / span
+
+    @property
+    def achieved_qps(self) -> float:
+        span = self.makespan_s
+        return len(self.records) / span if span > 0 else 0.0
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of queries exceeding the SLA latency target (dropped
+        queries count as violations — they were never answered)."""
+        if not self.records:
+            return 0.0
+        violated = sum(
+            1 for r in self.records if r.dropped or r.latency_s > self.sla_s
+        )
+        return violated / len(self.records)
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of queries shed by the overload policy."""
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.dropped) / len(self.records)
+
+    @property
+    def mean_accuracy(self) -> float:
+        """Sample-weighted accuracy of served predictions (percent)."""
+        total = self.total_samples
+        if total == 0:
+            return 0.0
+        return sum(r.accuracy * r.size for r in self.records) / total
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(r.energy_j for r in self.records)
+
+    # ---- distributions ------------------------------------------------------
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.percentile([r.latency_s for r in self.records], q))
+
+    @property
+    def p50_latency_s(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return self.latency_percentile(95)
+
+    @property
+    def p99_latency_s(self) -> float:
+        return self.latency_percentile(99)
+
+    def switching_breakdown(self) -> dict[str, float]:
+        """Fraction of queries served by each path (Figure 15)."""
+        counts = Counter(r.path_label for r in self.records)
+        total = len(self.records)
+        return {label: count / total for label, count in sorted(counts.items())}
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "correct_tput": self.correct_prediction_throughput,
+            "raw_tput": self.raw_throughput,
+            "qps": self.achieved_qps,
+            "accuracy": self.mean_accuracy,
+            "violation_rate": self.violation_rate,
+            "p99_latency_ms": self.p99_latency_s * 1e3,
+            "energy_j": self.total_energy_j,
+        }

@@ -1,0 +1,107 @@
+"""Discrete-event serving loop.
+
+Queries arrive on their timestamps; the scheduler routes each to an
+execution path; the chosen path's device serves queries FIFO across its
+``concurrency`` parallel servers (replicated boards/pods expose one server
+per replica; paths sharing a device share its servers — e.g. table-CPU and
+DHE-CPU both occupy the CPU). Per-query latency = queue wait + service
+time; energy comes from the device's power model over the service interval.
+"""
+
+from __future__ import annotations
+
+from repro.core.online import Scheduler
+from repro.hardware.energy import average_power
+from repro.hardware.latency import estimate_breakdown
+from repro.serving.metrics import QueryRecord, ServingResult
+from repro.serving.workload import ServingScenario
+
+
+class ServingSimulator:
+    """Runs a scenario through a scheduler.
+
+    ``shed_policy``: ``"none"`` serves everything (late answers still
+    count toward raw throughput); ``"drop-late"`` sheds a query whose
+    queue wait alone already exceeds the SLA target — the standard
+    load-shedding guard in production serving, where a late response has
+    zero value to the requesting page.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        track_energy: bool = True,
+        shed_policy: str = "none",
+    ) -> None:
+        if shed_policy not in ("none", "drop-late"):
+            raise ValueError("shed_policy must be 'none' or 'drop-late'")
+        self.scheduler = scheduler
+        self.track_energy = track_energy
+        self.shed_policy = shed_policy
+
+    def run(self, scenario: ServingScenario) -> ServingResult:
+        free_at: dict[str, list[float]] = {
+            path.device.name: [0.0] * path.device.concurrency
+            for path in self.scheduler.paths
+        }
+        result = ServingResult(
+            scheduler_name=self.scheduler.name, sla_s=scenario.sla_s
+        )
+        for query in sorted(scenario.queries, key=lambda q: q.arrival_s):
+            decision = self.scheduler.select(
+                query.size, scenario.sla_s, query.arrival_s, free_at
+            )
+            path = decision.path
+            servers = free_at[path.device.name]
+            server = min(range(len(servers)), key=servers.__getitem__)
+            if (
+                self.shed_policy == "drop-late"
+                and servers[server] - query.arrival_s > scenario.sla_s
+            ):
+                result.records.append(
+                    QueryRecord(
+                        index=query.index,
+                        size=query.size,
+                        arrival_s=query.arrival_s,
+                        start_s=query.arrival_s,
+                        finish_s=query.arrival_s,
+                        path_label="DROPPED",
+                        accuracy=0.0,
+                        dropped=True,
+                    )
+                )
+                continue
+            start = max(query.arrival_s, servers[server])
+            finish = start + decision.service_s
+            servers[server] = finish
+            energy = 0.0
+            if self.track_energy:
+                energy = self._query_energy(path, query.size, decision.service_s)
+            result.records.append(
+                QueryRecord(
+                    index=query.index,
+                    size=query.size,
+                    arrival_s=query.arrival_s,
+                    start_s=start,
+                    finish_s=finish,
+                    path_label=path.label,
+                    accuracy=path.accuracy,
+                    energy_j=energy,
+                )
+            )
+        return result
+
+    def _query_energy(self, path, query_size: int, service_s: float) -> float:
+        model = path.extra.get("model")
+        if model is None:
+            # Utilization-agnostic fallback.
+            return path.device.tdp_w * 0.5 * service_s
+        breakdown = estimate_breakdown(
+            path.rep,
+            model,
+            path.device,
+            query_size,
+            encoder_hit_rate=path.encoder_hit_rate,
+            decoder_speedup=path.decoder_speedup,
+        )
+        return average_power(path.device, breakdown) * service_s

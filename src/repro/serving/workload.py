@@ -1,0 +1,33 @@
+"""Serving scenarios: a query set plus SLA and throughput targets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.queries import QuerySet, generate_query_set
+
+
+@dataclass
+class ServingScenario:
+    """One evaluation condition (defaults are the paper's Section 5.3)."""
+
+    queries: QuerySet
+    sla_s: float = 0.010  # 10 ms strict SLA target
+    target_qps: float = 1000.0
+
+    @classmethod
+    def paper_default(
+        cls,
+        n_queries: int = 10_000,
+        mean_size: float = 128.0,
+        qps: float = 1000.0,
+        sla_s: float = 0.010,
+        seed: int = 0,
+    ) -> "ServingScenario":
+        return cls(
+            queries=generate_query_set(
+                n_queries=n_queries, mean_size=mean_size, qps=qps, seed=seed
+            ),
+            sla_s=sla_s,
+            target_qps=qps,
+        )

@@ -1,0 +1,6 @@
+"""Training loops and evaluation metrics for the numpy DLRM."""
+
+from repro.training.trainer import Trainer, TrainResult
+from repro.training.metrics import accuracy, roc_auc, log_loss
+
+__all__ = ["Trainer", "TrainResult", "accuracy", "roc_auc", "log_loss"]

@@ -1,0 +1,60 @@
+"""Classification metrics: accuracy, ROC-AUC, log loss."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(probs: np.ndarray, labels: np.ndarray, threshold: float = 0.5) -> float:
+    """Fraction of correct thresholded predictions — the paper's CTR metric."""
+    probs = np.asarray(probs)
+    labels = np.asarray(labels)
+    _check_shapes(probs, labels)
+    preds = (probs >= threshold).astype(labels.dtype)
+    return float(np.mean(preds == labels))
+
+
+def roc_auc(probs: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-statistic (Mann-Whitney) form."""
+    probs = np.asarray(probs, dtype=np.float64)
+    labels = np.asarray(labels)
+    _check_shapes(probs, labels)
+    pos = labels == 1
+    n_pos = int(pos.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc needs both classes present")
+    ranks = _average_ranks(probs)
+    pos_rank_sum = ranks[pos].sum()
+    return float((pos_rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def log_loss(probs: np.ndarray, labels: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean binary cross-entropy over probabilities."""
+    probs = np.clip(np.asarray(probs, dtype=np.float64), eps, 1.0 - eps)
+    labels = np.asarray(labels, dtype=np.float64)
+    _check_shapes(probs, labels)
+    return float(
+        -np.mean(labels * np.log(probs) + (1.0 - labels) * np.log(1.0 - probs))
+    )
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """1-based ranks with ties averaged (needed for an unbiased AUC)."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=np.float64)
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        avg = (i + j) / 2.0 + 1.0
+        ranks[order[i : j + 1]] = avg
+        i = j + 1
+    return ranks
+
+
+def _check_shapes(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")

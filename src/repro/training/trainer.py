@@ -1,0 +1,81 @@
+"""Mini-batch trainer for the numpy DLRM on synthetic CTR data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.synthetic import Batch, SyntheticCTRDataset
+from repro.models.dlrm import DLRM
+from repro.nn.losses import bce_with_logits
+from repro.nn.optim import Optimizer, SGD
+from repro.training.metrics import accuracy, log_loss, roc_auc
+
+
+@dataclass
+class TrainResult:
+    losses: list[float] = field(default_factory=list)
+    eval_accuracy: float = 0.0
+    eval_auc: float = 0.0
+    eval_logloss: float = 0.0
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+class Trainer:
+    """Trains a DLRM against a synthetic dataset with BCE loss."""
+
+    def __init__(
+        self,
+        model: DLRM,
+        dataset: SyntheticCTRDataset,
+        optimizer: Optimizer | None = None,
+        lr: float = 0.1,
+    ) -> None:
+        self.model = model
+        self.dataset = dataset
+        self.optimizer = optimizer or SGD(model.parameters(), lr=lr)
+
+    def train_step(self, batch: Batch) -> float:
+        logits = self.model(batch.dense, batch.sparse)
+        loss, grad = bce_with_logits(logits, batch.labels)
+        self.model.zero_grad()
+        self.model.backward(grad)
+        self.optimizer.step()
+        return loss
+
+    def train(
+        self,
+        n_steps: int,
+        batch_size: int = 128,
+        eval_samples: int = 4096,
+    ) -> TrainResult:
+        result = TrainResult()
+        for _ in range(n_steps):
+            batch = self.dataset.sample_batch(batch_size)
+            result.losses.append(self.train_step(batch))
+        evaluation = self.evaluate(eval_samples)
+        result.eval_accuracy = evaluation["accuracy"]
+        result.eval_auc = evaluation["auc"]
+        result.eval_logloss = evaluation["logloss"]
+        return result
+
+    def evaluate(self, n_samples: int = 4096, batch_size: int = 512) -> dict[str, float]:
+        probs_all: list[np.ndarray] = []
+        labels_all: list[np.ndarray] = []
+        remaining = n_samples
+        while remaining > 0:
+            batch = self.dataset.sample_batch(min(batch_size, remaining))
+            probs_all.append(self.model.predict_proba(batch.dense, batch.sparse))
+            labels_all.append(batch.labels)
+            remaining -= len(batch)
+        probs = np.concatenate(probs_all)
+        labels = np.concatenate(labels_all)
+        return {
+            "accuracy": accuracy(probs, labels),
+            "auc": roc_auc(probs, labels),
+            "logloss": log_loss(probs, labels),
+        }

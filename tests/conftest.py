@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.configs import ModelConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_config() -> ModelConfig:
+    """A DLRM small enough for exhaustive gradient checks."""
+    return ModelConfig(
+        name="tiny",
+        n_dense=4,
+        cardinalities=[7, 11, 5],
+        embedding_dim=6,
+        bottom_mlp=[8],
+        top_mlp=[10],
+    )
+
+
+@pytest.fixture
+def small_config() -> ModelConfig:
+    """A DLRM large enough to train meaningfully in seconds."""
+    return ModelConfig(
+        name="small",
+        n_dense=13,
+        cardinalities=[50, 200, 1000, 30, 500, 80, 120, 60],
+        embedding_dim=8,
+        bottom_mlp=[32, 16],
+        top_mlp=[32],
+    )

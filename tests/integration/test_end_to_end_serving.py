@@ -1,0 +1,122 @@
+"""End-to-end: offline plan -> MP-Cache -> scheduler -> simulator.
+
+Asserts the paper's headline serving behaviors (Figures 10, 15, 17;
+Tables 2, 4) as orderings over the full pipeline.
+"""
+
+import pytest
+
+from repro.experiments.setup import (
+    build_schedulers,
+    hw2_devices,
+    run_serving_comparison,
+)
+from repro.models.configs import KAGGLE, TERABYTE
+from repro.serving.workload import ServingScenario
+
+SUBSET = ("table-cpu", "table-gpu", "dhe-gpu", "hybrid-gpu", "table-switch", "mp-rec")
+
+
+@pytest.fixture(scope="module")
+def kaggle_results():
+    scenario = ServingScenario.paper_default(n_queries=1500, seed=1)
+    return run_serving_comparison(KAGGLE, scenario, subset=SUBSET)
+
+
+class TestFig10Orderings:
+    def test_mp_rec_beats_every_baseline(self, kaggle_results):
+        mp = kaggle_results["mp-rec"].correct_prediction_throughput
+        for name, result in kaggle_results.items():
+            if name != "mp-rec":
+                assert mp >= result.correct_prediction_throughput * 0.99, name
+
+    def test_static_compute_reprs_degrade(self, kaggle_results):
+        """Fig 10: static DHE/hybrid fall well below the table-CPU baseline."""
+        base = kaggle_results["table-cpu"].correct_prediction_throughput
+        assert kaggle_results["dhe-gpu"].correct_prediction_throughput < 0.8 * base
+        assert kaggle_results["hybrid-gpu"].correct_prediction_throughput < 0.8 * base
+
+    def test_mp_rec_factor_in_paper_range(self, kaggle_results):
+        """Paper: 2.49x on Kaggle; we accept 1.5-3.5x."""
+        ratio = (
+            kaggle_results["mp-rec"].correct_prediction_throughput
+            / kaggle_results["table-cpu"].correct_prediction_throughput
+        )
+        assert 1.5 < ratio < 3.5
+
+    def test_mp_rec_accuracy_above_table(self, kaggle_results):
+        """Insight 1: served accuracy rises by activating DHE/hybrid paths."""
+        assert (
+            kaggle_results["mp-rec"].mean_accuracy
+            > kaggle_results["table-cpu"].mean_accuracy + 0.02
+        )
+
+    def test_mp_rec_achievable_accuracy_matches_hybrid(self, kaggle_results):
+        """Table 2: MP-Rec's best activated path is the hybrid one."""
+        breakdown = kaggle_results["mp-rec"].switching_breakdown()
+        assert any(label.startswith("HYBRID") for label in breakdown)
+
+    def test_fig15_kaggle_keeps_cpu_table_path(self, kaggle_results):
+        """Fig 15: TBL(CPU) remains active on Kaggle (small queries)."""
+        breakdown = kaggle_results["mp-rec"].switching_breakdown()
+        assert breakdown.get("TABLE(CPU)", 0.0) > 0.01
+
+
+class TestTerabyte:
+    @pytest.fixture(scope="class")
+    def results(self):
+        scenario = ServingScenario.paper_default(n_queries=1200, seed=2)
+        return run_serving_comparison(
+            TERABYTE, scenario, subset=("table-cpu", "table-gpu", "mp-rec")
+        )
+
+    def test_mp_rec_factor(self, results):
+        """Paper: 3.76x on Terabyte; we accept > 2x."""
+        ratio = (
+            results["mp-rec"].correct_prediction_throughput
+            / results["table-cpu"].correct_prediction_throughput
+        )
+        assert ratio > 2.0
+
+    def test_fig15_terabyte_prefers_gpu_table(self, results):
+        """Fig 15: TBL(GPU) dominates TBL(CPU) for the Terabyte model."""
+        breakdown = results["mp-rec"].switching_breakdown()
+        gpu_share = breakdown.get("TABLE(GPU)", 0.0)
+        cpu_share = breakdown.get("TABLE(CPU)", 0.0)
+        assert gpu_share + cpu_share > 0  # tables used at all
+        # GPU path carries at least as much table traffic as CPU.
+        assert gpu_share >= cpu_share * 0.8
+
+
+class TestHW2:
+    def test_table4_shape(self):
+        """HW-2: MP-Rec matches DHE accuracy at >= CPU-table throughput."""
+        devices = hw2_devices()
+        scenario = ServingScenario.paper_default(n_queries=800, seed=3)
+        results = run_serving_comparison(
+            KAGGLE, scenario, devices=devices, subset=("mp-rec",)
+        )
+        schedulers = build_schedulers(KAGGLE, devices)
+        assert "hybrid-gpu" not in schedulers  # 2.29 GB cannot fit 200 MB
+        mp = results["mp-rec"]
+        assert mp.mean_accuracy > 78.7
+        assert mp.correct_prediction_throughput > 0
+
+
+class TestCacheAblationEndToEnd:
+    def test_cache_improves_mp_rec(self):
+        """Insight 4: disabling MP-Cache lowers correct-prediction
+        throughput or accuracy (DHE/hybrid become rarely feasible)."""
+        scenario = ServingScenario.paper_default(n_queries=1000, seed=4)
+        with_cache = run_serving_comparison(
+            KAGGLE, scenario, with_cache=True, subset=("mp-rec",)
+        )["mp-rec"]
+        without = run_serving_comparison(
+            KAGGLE, scenario, with_cache=False, subset=("mp-rec",)
+        )["mp-rec"]
+        gain = (
+            with_cache.correct_prediction_throughput
+            - without.correct_prediction_throughput
+        )
+        accuracy_gain = with_cache.mean_accuracy - without.mean_accuracy
+        assert gain > 0 or accuracy_gain > 0

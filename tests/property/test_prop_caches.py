@@ -1,0 +1,64 @@
+"""Property-based invariants of MP-Cache and the Zipf traffic model."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering.kmeans import KMeans
+from repro.core.mp_cache import EncoderCache
+from repro.data.zipf import ZipfSampler
+
+alphas = st.floats(min_value=0.0, max_value=2.0)
+ns = st.integers(min_value=2, max_value=5000)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=ns, alpha=alphas, seed=seeds)
+def test_zipf_probabilities_normalized(n, alpha, seed):
+    sampler = ZipfSampler(n, alpha=alpha, seed=seed)
+    probs = sampler.probability(np.arange(n))
+    np.testing.assert_allclose(probs.sum(), 1.0, atol=1e-9)
+    assert probs.min() >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=ns, alpha=alphas, seed=seeds, count=st.integers(1, 100))
+def test_zipf_hit_rate_in_unit_interval(n, alpha, seed, count):
+    sampler = ZipfSampler(n, alpha=alpha, seed=seed)
+    rate = sampler.expected_hit_rate(sampler.hottest(min(count, n)))
+    assert 0.0 <= rate <= 1.0 + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=ns, alpha=alphas, seed=seeds)
+def test_zipf_full_cache_hits_everything(n, alpha, seed):
+    sampler = ZipfSampler(n, alpha=alpha, seed=seed)
+    np.testing.assert_allclose(
+        sampler.expected_hit_rate(np.arange(n)), 1.0, atol=1e-9
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    capacity=st.integers(min_value=0, max_value=10**6),
+    dim=st.integers(min_value=1, max_value=256),
+)
+def test_encoder_cache_capacity_accounting(capacity, dim):
+    cache = EncoderCache(capacity, dim)
+    assert cache.capacity_entries * cache.entry_bytes <= capacity
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=seeds,
+    n_points=st.integers(min_value=8, max_value=120),
+    n_clusters=st.integers(min_value=1, max_value=8),
+    dim=st.integers(min_value=1, max_value=6),
+)
+def test_kmeans_inertia_not_worse_than_single_centroid(seed, n_points, n_clusters, dim):
+    rng = np.random.default_rng(seed)
+    points = rng.standard_normal((n_points, dim))
+    km = KMeans(n_clusters, seed=seed).fit(points)
+    baseline = float(((points - points.mean(axis=0)) ** 2).sum())
+    assert km.inertia <= baseline + 1e-9
+    assert km.predict(points).max() < n_clusters

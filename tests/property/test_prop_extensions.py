@@ -1,0 +1,89 @@
+"""Property-based checks on TT-Rec, the Criteo file format, and sharding."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.sharding import greedy_shard
+from repro.data.criteo import format_line, parse_line
+from repro.embeddings.ttrec import TTEmbedding, factorize_evenly, mixed_radix_digits
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(min_value=1, max_value=10**8), parts=st.integers(2, 4))
+def test_factorization_always_covers(n, parts):
+    factors = factorize_evenly(n, parts)
+    assert len(factors) == parts
+    assert int(np.prod(factors)) >= n
+    assert all(f >= 1 for f in factors)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    radices=st.lists(st.integers(2, 50), min_size=2, max_size=4),
+    seed=seeds,
+)
+def test_mixed_radix_reconstructs(radices, seed):
+    rng = np.random.default_rng(seed)
+    limit = int(np.prod(radices))
+    ids = rng.integers(0, limit, size=20)
+    digits = mixed_radix_digits(ids, radices)
+    reconstructed = np.zeros_like(ids)
+    multiplier = 1
+    for digit, radix in zip(digits, radices):
+        reconstructed += digit * multiplier
+        multiplier *= radix
+    np.testing.assert_array_equal(reconstructed, ids)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.integers(min_value=2, max_value=500),
+    rank=st.integers(min_value=1, max_value=6),
+    seed=seeds,
+)
+def test_ttrec_rows_deterministic_and_finite(rows, rank, seed):
+    rng = np.random.default_rng(seed)
+    emb = TTEmbedding(rows, 8, rank, rng)
+    ids = rng.integers(0, rows, size=10)
+    out1 = emb(ids)
+    out2 = emb(ids)
+    np.testing.assert_array_equal(out1, out2)
+    assert np.isfinite(out1).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    label=st.integers(0, 1),
+    dense=st.lists(st.floats(0, 1e6), min_size=1, max_size=13),
+    sparse=st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=26),
+)
+def test_criteo_line_roundtrip(label, dense, sparse):
+    dense_arr = np.array(dense)
+    sparse_arr = np.array(sparse)
+    line = format_line(label, dense_arr, sparse_arr)
+    label2, dense2, sparse2 = parse_line(line, len(dense), len(sparse))
+    assert label2 == label
+    np.testing.assert_allclose(dense2, np.round(dense_arr))
+    np.testing.assert_array_equal(sparse2, sparse_arr)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    cards=st.lists(st.integers(1, 10**6), min_size=1, max_size=30),
+    n_nodes=st.integers(1, 16),
+    dim=st.sampled_from([4, 16, 64]),
+)
+def test_sharding_conserves_rows_and_bounds_imbalance(cards, n_nodes, dim):
+    plan = greedy_shard(cards, dim, n_nodes)
+    total = sum(rows for slices in plan.assignment for _, rows in slices)
+    assert total == sum(cards)
+    for slices in plan.assignment:
+        for node, rows in slices:
+            assert 0 <= node < n_nodes
+            assert rows > 0
+    # LPT bound: max load <= mean + largest item.
+    loads = plan.node_bytes()
+    largest = max(cards) * dim * 4
+    assert loads.max() <= loads.mean() + largest + 1e-9

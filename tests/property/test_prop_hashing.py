@@ -1,0 +1,58 @@
+"""Property-based checks on the DHE hash family and encoders."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.embeddings.hashing import HashFamily, encode_ids
+
+ks = st.integers(min_value=1, max_value=64)
+ms = st.integers(min_value=2, max_value=1_000_000)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(k=ks, m=ms, seed=seeds)
+def test_hash_outputs_in_range(k, m, seed):
+    family = HashFamily(k=k, m=m, seed=seed)
+    ids = np.arange(0, 1000, 13)
+    out = family(ids)
+    assert out.shape == (ids.size, k)
+    assert out.min() >= 0
+    assert out.max() < m
+
+
+@settings(max_examples=30, deadline=None)
+@given(k=ks, m=ms, seed=seeds, id_val=st.integers(min_value=0, max_value=2**32))
+def test_hash_deterministic_per_id(k, m, seed, id_val):
+    family = HashFamily(k=k, m=m, seed=seed)
+    a = family(np.array([id_val]))
+    b = family(np.array([id_val, id_val]))
+    np.testing.assert_array_equal(a[0], b[0])
+    np.testing.assert_array_equal(b[0], b[1])
+
+
+@settings(max_examples=30, deadline=None)
+@given(m=st.integers(min_value=2, max_value=10**6), seed=seeds)
+def test_uniform_encoding_bounded(m, seed):
+    rng = np.random.default_rng(seed)
+    hashed = rng.integers(0, m, size=(20, 3))
+    out = encode_ids(hashed, m, "uniform")
+    assert out.min() >= -1.0 - 1e-12
+    assert out.max() <= 1.0 + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(m=st.integers(min_value=2, max_value=10**6), seed=seeds)
+def test_gaussian_encoding_finite(m, seed):
+    rng = np.random.default_rng(seed)
+    hashed = rng.integers(0, m, size=(20, 3))
+    out = encode_ids(hashed, m, "gaussian")
+    assert np.isfinite(out).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(m=st.integers(min_value=10, max_value=10**6))
+def test_uniform_encoding_monotone_in_hash(m):
+    hashed = np.arange(0, m, max(1, m // 17))[None, :]
+    out = encode_ids(hashed, m, "uniform")
+    assert np.all(np.diff(out[0]) > 0)

@@ -1,0 +1,78 @@
+"""Property-based gradient and shape checks on the NN substrate."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.nn import EmbeddingTable, Linear, MLP
+from repro.nn.gradcheck import check_module_gradients
+from repro.nn.losses import bce_with_logits
+
+dims = st.integers(min_value=1, max_value=6)
+batches = st.integers(min_value=1, max_value=5)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(in_f=dims, out_f=dims, batch=batches, seed=seeds)
+def test_linear_gradients_always_match(in_f, out_f, batch, seed):
+    rng = np.random.default_rng(seed)
+    layer = Linear(in_f, out_f, rng)
+    check_module_gradients(layer, rng.standard_normal((batch, in_f)), rng)
+
+
+@settings(max_examples=15, deadline=None)
+@given(sizes=st.lists(dims, min_size=2, max_size=4), batch=batches, seed=seeds)
+def test_mlp_gradients_always_match(sizes, batch, seed):
+    rng = np.random.default_rng(seed)
+    mlp = MLP(sizes, rng)
+    x = rng.standard_normal((batch, sizes[0]))
+    # Central differences are invalid at ReLU kinks: skip examples where any
+    # hidden pre-activation sits within the perturbation radius of zero.
+    assume(_min_abs_preactivation(mlp, x) > 1e-3)
+    check_module_gradients(mlp, x, rng, atol=1e-5, rtol=1e-3)
+
+
+def _min_abs_preactivation(mlp: MLP, x: np.ndarray) -> float:
+    smallest = np.inf
+    for layer in mlp.layers:
+        x = layer(x)
+        if isinstance(layer, Linear):
+            smallest = min(smallest, float(np.min(np.abs(x))))
+    return smallest
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=50),
+    dim=dims,
+    batch=batches,
+    seed=seeds,
+)
+def test_embedding_backward_conserves_gradient_mass(rows, dim, batch, seed):
+    """Sum of weight grads equals sum of output grads (scatter-add exactness)."""
+    rng = np.random.default_rng(seed)
+    table = EmbeddingTable(rows, dim, rng)
+    ids = rng.integers(0, rows, size=batch)
+    table(ids)
+    grad = rng.standard_normal((batch, dim))
+    table.backward(grad)
+    np.testing.assert_allclose(table.weight.grad.sum(), grad.sum(), atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    logits=st.lists(
+        st.floats(min_value=-50, max_value=50), min_size=1, max_size=20
+    ),
+    seed=seeds,
+)
+def test_bce_loss_nonnegative_and_finite(logits, seed):
+    rng = np.random.default_rng(seed)
+    logits = np.array(logits)
+    labels = (rng.random(logits.size) > 0.5).astype(float)
+    loss, grad = bce_with_logits(logits, labels)
+    assert loss >= 0.0
+    assert np.isfinite(loss)
+    assert np.isfinite(grad).all()
+    # Gradient is bounded by 1/n per element (sigmoid in [0,1]).
+    assert np.all(np.abs(grad) <= 1.0 / logits.size + 1e-12)

@@ -1,0 +1,76 @@
+"""Property-based invariants of Algorithm 2 and the serving simulator."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.online import MultiPathScheduler, StaticScheduler
+from repro.data.queries import Query, QuerySet
+from repro.hardware.catalog import CPU_BROADWELL, GPU_V100
+from repro.serving.simulator import ServingSimulator
+from repro.serving.workload import ServingScenario
+
+from tests.unit.test_online import fake_path, idle
+
+latencies = st.floats(min_value=1e-4, max_value=0.05)
+slas = st.floats(min_value=1e-3, max_value=0.5)
+sizes = st.integers(min_value=1, max_value=4096)
+
+
+def build_paths(table_lat, dhe_lat, hybrid_lat):
+    return [
+        fake_path("table", CPU_BROADWELL, 78.79, table_lat, label="T"),
+        fake_path("dhe", GPU_V100, 78.94, dhe_lat, label="D"),
+        fake_path("hybrid", GPU_V100, 78.98, hybrid_lat, label="H"),
+    ]
+
+
+@settings(max_examples=80, deadline=None)
+@given(t=latencies, d=latencies, h=latencies, sla=slas, size=sizes)
+def test_scheduler_always_returns_a_path(t, d, h, sla, size):
+    paths = build_paths(t, d, h)
+    sched = MultiPathScheduler(paths)
+    decision = sched.select(size, sla, 0.0, idle(paths))
+    assert decision.path in paths
+
+
+@settings(max_examples=80, deadline=None)
+@given(t=latencies, d=latencies, h=latencies, sla=slas, size=sizes)
+def test_feasible_selection_is_most_preferred_feasible(t, d, h, sla, size):
+    """If the chosen path meets the SLA, no more-preferred kind also did."""
+    paths = build_paths(t, d, h)
+    sched = MultiPathScheduler(paths)
+    decision = sched.select(size, sla, 0.0, idle(paths))
+    order = ["hybrid", "dhe", "select", "table"]
+    if decision.finish_after_arrival_s <= sla:
+        chosen_rank = order.index(decision.path.kind)
+        for path in paths:
+            if order.index(path.kind) < chosen_rank:
+                assert path.latency(size) > sla
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_queries=st.integers(min_value=1, max_value=40),
+    gap_ms=st.floats(min_value=0.0, max_value=20.0),
+    t=latencies,
+    seed=st.integers(0, 1000),
+)
+def test_simulator_conservation_and_ordering(n_queries, gap_ms, t, seed):
+    """Every query is served exactly once; service intervals on one device
+    never overlap; latency >= service time."""
+    rng = np.random.default_rng(seed)
+    path = fake_path("table", CPU_BROADWELL, 78.79, t, label="T")
+    queries = [
+        Query(index=i, size=int(rng.integers(1, 512)), arrival_s=i * gap_ms / 1e3)
+        for i in range(n_queries)
+    ]
+    scenario = ServingScenario(queries=QuerySet(queries=queries), sla_s=0.01)
+    result = ServingSimulator(StaticScheduler([path]), track_energy=False).run(scenario)
+
+    assert len(result.records) == n_queries
+    assert sorted(r.index for r in result.records) == list(range(n_queries))
+    intervals = sorted((r.start_s, r.finish_s) for r in result.records)
+    for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+        assert s2 >= f1 - 1e-12  # single server: no overlap
+    for record in result.records:
+        assert record.finish_s >= record.start_s >= record.arrival_s

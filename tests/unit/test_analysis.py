@@ -1,0 +1,83 @@
+import pytest
+
+from repro.analysis.breakdown import breakdown_table, slowdown_vs
+from repro.analysis.scaling import ZionEXModel
+from repro.core.representations import paper_configs
+from repro.hardware.catalog import CPU_BROADWELL
+from repro.models.configs import KAGGLE, TERABYTE
+
+
+class TestBreakdownHelpers:
+    def test_breakdown_table_keys(self):
+        cfgs = paper_configs(KAGGLE)
+        table = breakdown_table(
+            {"table": cfgs["table"], "dhe": cfgs["dhe"]},
+            KAGGLE, CPU_BROADWELL, 256,
+        )
+        assert set(table) == {"table", "dhe"}
+        assert table["dhe"].total > table["table"].total
+
+    def test_slowdown_vs(self):
+        cfgs = paper_configs(KAGGLE)
+        table = breakdown_table(
+            {"table": cfgs["table"], "dhe": cfgs["dhe"]},
+            KAGGLE, CPU_BROADWELL, 256,
+        )
+        slowdowns = slowdown_vs(table, "table")
+        assert slowdowns["table"] == 1.0
+        assert slowdowns["dhe"] > 1.0
+
+    def test_slowdown_missing_baseline(self):
+        with pytest.raises(KeyError):
+            slowdown_vs({}, "table")
+
+
+class TestZionEXScaling:
+    # Production-scale training workload parameters (ZionEX-class model:
+    # tens of MFLOPs per sample, wide embedding exchange).
+    ARGS = dict(
+        batch_per_iter=65536,
+        model_flops_per_sample=25e6,
+        embedding_vector_bytes=26 * 64 * 4,
+        dense_grad_bytes=30e6,
+    )
+
+    def test_sharded_pays_comm(self):
+        model = ZionEXModel()
+        _, comm = model.iteration_time(n_nodes=16, sharded=True, **self.ARGS)
+        assert comm > 0
+        _, no_comm = model.iteration_time(n_nodes=16, sharded=False, **self.ARGS)
+        assert no_comm == 0
+
+    def test_single_node_no_comm(self):
+        model = ZionEXModel()
+        _, comm = model.iteration_time(n_nodes=1, sharded=True, **self.ARGS)
+        assert comm == 0
+
+    def test_comm_fraction_near_paper(self):
+        """ZionEX exposes ~40% of training time as communication (Sec 6.9)."""
+        model = ZionEXModel()
+        comparison = model.compare(n_nodes=16, **self.ARGS)
+        assert 0.25 < comparison.table_comm_fraction < 0.55
+
+    def test_dhe_reduces_total_time_at_scale(self):
+        """Paper: ~36% total-time reduction on a 128-GPU (16-node) system."""
+        model = ZionEXModel()
+        comparison = model.compare(n_nodes=16, **self.ARGS)
+        assert 0.2 < comparison.time_reduction < 0.5
+
+    def test_reduction_grows_with_nodes(self):
+        model = ZionEXModel()
+        small = model.compare(n_nodes=2, **self.ARGS)
+        large = model.compare(n_nodes=16, **self.ARGS)
+        assert large.time_reduction > small.time_reduction
+
+    def test_dhe_not_worth_it_single_node(self):
+        """Without communication to remove, DHE's extra FLOPs are a loss."""
+        model = ZionEXModel()
+        comparison = model.compare(n_nodes=1, **self.ARGS)
+        assert comparison.time_reduction < 0
+
+    def test_rejects_bad_nodes(self):
+        with pytest.raises(ValueError):
+            ZionEXModel().iteration_time(n_nodes=0, sharded=True, **self.ARGS)

@@ -1,0 +1,71 @@
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--dataset", "movielens"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.scheduler == "mp-rec"
+        assert args.sla_ms == 10.0
+
+
+class TestCommands:
+    def test_train(self, capsys):
+        code = main([
+            "train", "--dataset", "kaggle-mini", "--representation", "hybrid",
+            "--steps", "5", "--batch-size", "32",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hybrid" in out and "auc" in out
+
+    def test_train_ttrec(self, capsys):
+        code = main([
+            "train", "--dataset", "kaggle-mini", "--representation", "ttrec",
+            "--steps", "3", "--batch-size", "16",
+        ])
+        assert code == 0
+        assert "ttrec" in capsys.readouterr().out
+
+    def test_plan_hw2(self, capsys):
+        code = main(["plan", "--dataset", "kaggle", "--hw", "hw2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cpu-broadwell" in out and "gpu-v100" in out
+        assert "table-d4" in out  # the downsized-table decision
+
+    def test_serve_static(self, capsys):
+        code = main([
+            "serve", "--dataset", "kaggle", "--scheduler", "table-cpu",
+            "--queries", "100",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "correct predictions/s" in out
+        assert "TABLE(CPU)" in out
+
+    def test_characterize(self, capsys):
+        code = main(["characterize", "--dataset", "kaggle", "--batch", "256"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cpu-broadwell" in out and "hybrid" in out
+
+    def test_generate_data(self, tmp_path, capsys):
+        out_file = tmp_path / "synth.tsv"
+        code = main([
+            "generate-data", "--out", str(out_file), "--rows", "50",
+            "--dataset", "kaggle-mini",
+        ])
+        assert code == 0
+        lines = out_file.read_text().strip().split("\n")
+        assert len(lines) == 50
+        assert len(lines[0].split("\t")) == 1 + 13 + 26

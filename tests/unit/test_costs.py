@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+
+from repro.embeddings.costs import (
+    decoder_params,
+    dhe_bytes,
+    dhe_flops_per_lookup,
+    embedding_bytes,
+    embedding_flops,
+    table_bytes,
+)
+from repro.embeddings.dhe import DHEEmbedding
+from repro.models.configs import KAGGLE, TERABYTE
+
+
+class TestTableBytes:
+    def test_simple(self):
+        assert table_bytes(100, 16) == 100 * 16 * 4
+
+    def test_kaggle_baseline_matches_paper(self):
+        # Paper Table 3: Kaggle table baseline = 2.16 GB at dim 16.
+        total = sum(table_bytes(rows, 16) for rows in KAGGLE.cardinalities)
+        assert abs(total / 1e9 - 2.16) < 0.01
+
+    def test_terabyte_baseline_matches_paper(self):
+        # Paper Table 3: Terabyte table baseline = 12.58 GB at dim 64.
+        total = sum(table_bytes(rows, 64) for rows in TERABYTE.cardinalities)
+        assert abs(total / 1e9 - 12.58) < 0.01
+
+
+class TestDecoderCosts:
+    def test_params_match_live_module(self, rng):
+        emb = DHEEmbedding(dim=6, k=16, dnn=24, h=2, rng=rng)
+        assert decoder_params(16, 24, 2, 6) == emb.decoder.num_parameters()
+
+    def test_bytes_is_4x_params(self):
+        assert dhe_bytes(16, 24, 2, 6) == 4 * decoder_params(16, 24, 2, 6)
+
+    def test_flops_match_live_module(self, rng):
+        emb = DHEEmbedding(dim=6, k=16, dnn=24, h=2, rng=rng)
+        assert dhe_flops_per_lookup(16, 24, 2, 6) == emb.flops_per_lookup()
+
+    def test_flops_grow_with_k(self):
+        assert dhe_flops_per_lookup(64, 32, 1, 8) > dhe_flops_per_lookup(8, 32, 1, 8)
+
+
+class TestEmbeddingBytes:
+    CARDS = [100, 1000, 10]
+
+    def test_table(self):
+        assert embedding_bytes("table", self.CARDS, 8) == 1110 * 8 * 4
+
+    def test_dhe_independent_of_cardinalities(self):
+        a = embedding_bytes("dhe", [10, 10], 8, k=16, dnn=8, h=1)
+        b = embedding_bytes("dhe", [10**7, 10**7], 8, k=16, dnn=8, h=1)
+        assert a == b
+
+    def test_dhe_shared_decoder_divides(self):
+        per_feature = embedding_bytes("dhe", self.CARDS, 8, k=16, dnn=8, h=1)
+        shared = embedding_bytes(
+            "dhe", self.CARDS, 8, k=16, dnn=8, h=1, shared_decoder=True
+        )
+        assert per_feature == 3 * shared
+
+    def test_select_splits(self):
+        full_table = embedding_bytes("table", self.CARDS, 8)
+        sel = embedding_bytes(
+            "select", self.CARDS, 8, k=16, dnn=8, h=1, dhe_features=[1]
+        )
+        # Replaced the 1000-row table with one decoder stack.
+        expected = full_table - 1000 * 8 * 4 + dhe_bytes(16, 8, 1, 8)
+        assert sel == expected
+
+    def test_hybrid_adds_tables_and_stacks(self):
+        hyb = embedding_bytes(
+            "hybrid", self.CARDS, 12, k=16, dnn=8, h=1, table_dim=8, dhe_dim=4
+        )
+        expected = 1110 * 8 * 4 + 3 * dhe_bytes(16, 8, 1, 4)
+        assert hyb == expected
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            embedding_bytes("tt-rec", self.CARDS, 8)
+
+
+class TestEmbeddingFlops:
+    def test_table_zero(self):
+        assert embedding_flops("table", 26, 16) == 0
+
+    def test_dhe_scales_with_features(self):
+        one = embedding_flops("dhe", 1, 16, k=32, dnn=16, h=1)
+        many = embedding_flops("dhe", 26, 16, k=32, dnn=16, h=1)
+        assert many == 26 * one
+
+    def test_select_counts_only_dhe_features(self):
+        sel = embedding_flops("select", 26, 16, k=32, dnn=16, h=1, n_dhe_features=3)
+        assert sel == 3 * dhe_flops_per_lookup(32, 16, 1, 16)
+
+    def test_hybrid_uses_dhe_dim(self):
+        hyb = embedding_flops("hybrid", 2, 24, k=32, dnn=16, h=1, dhe_dim=8)
+        assert hyb == 2 * dhe_flops_per_lookup(32, 16, 1, 8)

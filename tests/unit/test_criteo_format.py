@@ -1,0 +1,108 @@
+import numpy as np
+import pytest
+
+from repro.data.criteo import (
+    CriteoStatistics,
+    format_line,
+    parse_line,
+    read_criteo_file,
+    scan_statistics,
+    write_criteo_file,
+)
+from repro.models.configs import ModelConfig
+
+SMALL = ModelConfig(
+    name="filefmt",
+    n_dense=4,
+    cardinalities=[50, 500, 20],
+    embedding_dim=8,
+    bottom_mlp=[8],
+    top_mlp=[8],
+)
+
+
+class TestLineFormat:
+    def test_roundtrip(self):
+        dense = np.array([3.0, 0.0, 17.0, 2.0])
+        sparse = np.array([12, 499, 7])
+        line = format_line(1, dense, sparse)
+        label, dense2, sparse2 = parse_line(line, 4, 3)
+        assert label == 1
+        np.testing.assert_allclose(dense2, dense)
+        np.testing.assert_array_equal(sparse2, sparse)
+
+    def test_hex_encoding(self):
+        line = format_line(0, np.zeros(1), np.array([255]))
+        assert line.split("\t")[-1] == "000000ff"
+
+    def test_missing_fields_default_zero(self):
+        label, dense, sparse = parse_line("1\t\t\t", 2, 1)
+        assert label == 1
+        np.testing.assert_array_equal(dense, [0.0, 0.0])
+        np.testing.assert_array_equal(sparse, [0])
+
+    def test_wrong_field_count(self):
+        with pytest.raises(ValueError, match="tab-separated"):
+            parse_line("1\t2", 4, 3)
+
+
+class TestFileRoundtrip:
+    def test_write_then_read(self, tmp_path):
+        path = write_criteo_file(tmp_path / "clicks.tsv", SMALL, n_rows=500, seed=3)
+        batches = list(read_criteo_file(path, SMALL, batch_size=128))
+        total = sum(len(b) for b in batches)
+        assert total == 500
+        assert batches[0].dense.shape[1] == SMALL.n_dense
+        assert batches[0].sparse.shape[1] == SMALL.n_sparse
+
+    def test_ids_bucketed_to_cardinalities(self, tmp_path):
+        path = write_criteo_file(tmp_path / "clicks.tsv", SMALL, n_rows=300, seed=4)
+        for batch in read_criteo_file(path, SMALL):
+            for f, rows in enumerate(SMALL.cardinalities):
+                assert batch.sparse[:, f].max() < rows
+
+    def test_labels_binary_and_plausible_ctr(self, tmp_path):
+        path = write_criteo_file(tmp_path / "clicks.tsv", SMALL, n_rows=2000, seed=5)
+        labels = np.concatenate(
+            [b.labels for b in read_criteo_file(path, SMALL)]
+        )
+        assert set(np.unique(labels)) <= {0.0, 1.0}
+        assert 0.05 < labels.mean() < 0.7
+
+    def test_dense_log1p_preprocessing(self, tmp_path):
+        path = write_criteo_file(tmp_path / "clicks.tsv", SMALL, n_rows=100, seed=6)
+        batch = next(read_criteo_file(path, SMALL))
+        assert batch.dense.min() >= 0
+
+    def test_partial_final_batch(self, tmp_path):
+        path = write_criteo_file(tmp_path / "clicks.tsv", SMALL, n_rows=130, seed=7)
+        sizes = [len(b) for b in read_criteo_file(path, SMALL, batch_size=64)]
+        assert sizes == [64, 64, 2]
+
+
+class TestStatistics:
+    def test_scan_counts_rows_and_ctr(self, tmp_path):
+        path = write_criteo_file(tmp_path / "clicks.tsv", SMALL, n_rows=1000, seed=8)
+        stats = scan_statistics(path, SMALL)
+        assert stats.n_rows == 1000
+        assert 0 < stats.ctr < 1
+
+    def test_hot_ids_follow_popularity(self, tmp_path):
+        path = write_criteo_file(tmp_path / "clicks.tsv", SMALL, n_rows=3000, seed=9)
+        stats = scan_statistics(path, SMALL)
+        # Zipf traffic: the top-5 IDs of the 500-row feature carry a
+        # disproportionate share of accesses.
+        fraction = stats.hot_traffic_fraction(feature=1, count=5)
+        assert fraction > 5 * (5 / 500)
+
+    def test_hottest_ids_sorted_by_count(self, tmp_path):
+        path = write_criteo_file(tmp_path / "clicks.tsv", SMALL, n_rows=1000, seed=10)
+        stats = scan_statistics(path, SMALL)
+        hottest = stats.hottest_ids(feature=0, count=3)
+        counts = [stats.access_counts[0][i] for i in hottest]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_empty_stats_safe(self):
+        stats = CriteoStatistics(access_counts=[{}])
+        assert stats.ctr == 0.0
+        assert stats.hot_traffic_fraction(0, 5) == 0.0

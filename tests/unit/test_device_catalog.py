@@ -1,0 +1,106 @@
+import pytest
+
+from repro.hardware.catalog import (
+    CPU_BROADWELL,
+    DEVICE_CATALOG,
+    GPU_V100,
+    IPU_GC200,
+    IPU_POD16,
+    TPU_V3_CHIP,
+    device_by_name,
+)
+from repro.hardware.device import GB, MB, DeviceSpec
+
+
+class TestDeviceSpec:
+    def test_total_memory(self):
+        assert CPU_BROADWELL.total_memory == (
+            CPU_BROADWELL.dram_capacity + CPU_BROADWELL.sram_capacity
+        )
+
+    def test_fits(self):
+        assert GPU_V100.fits(10 * GB)
+        assert not GPU_V100.fits(100 * GB)
+
+    def test_fits_in_sram(self):
+        assert IPU_GC200.fits_in_sram(800 * MB)
+        assert not IPU_GC200.fits_in_sram(2 * GB)
+
+    def test_with_memory_budget(self):
+        constrained = GPU_V100.with_memory_budget(200 * MB)
+        assert constrained.dram_capacity == 200 * MB
+        assert constrained.peak_flops == GPU_V100.peak_flops
+
+    def test_concurrency_from_replicas(self):
+        assert CPU_BROADWELL.concurrency == 1
+        assert IPU_POD16.concurrency == 16
+
+    def test_sram_per_chip(self):
+        assert IPU_POD16.sram_per_chip == IPU_POD16.sram_capacity // 16
+
+    def test_is_accelerator(self):
+        assert not CPU_BROADWELL.is_accelerator
+        assert TPU_V3_CHIP.is_accelerator
+
+    def test_validation_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad", kind="cpu", peak_flops=1e12, dram_bandwidth=1e9,
+                dram_capacity=1, sram_capacity=1, sram_bandwidth=1e9,
+                tdp_w=1, idle_w=0, launch_overhead_s=0, query_overhead_s=0,
+                host_transfer_bw=0, gather_efficiency=1.5, mlp_efficiency=0.5,
+                small_gemm_factor=0.5, elementwise_efficiency=0.5,
+            )
+
+    def test_validation_rejects_replicas_over_chips(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad", kind="ipu", peak_flops=1e12, dram_bandwidth=1e9,
+                dram_capacity=1, sram_capacity=1, sram_bandwidth=1e9,
+                tdp_w=1, idle_w=0, launch_overhead_s=0, query_overhead_s=0,
+                host_transfer_bw=0, gather_efficiency=0.5, mlp_efficiency=0.5,
+                small_gemm_factor=0.5, elementwise_efficiency=0.5,
+                n_chips=2, replicas=4,
+            )
+
+    def test_validation_rejects_unknown_parallelism(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad", kind="tpu", peak_flops=1e12, dram_bandwidth=1e9,
+                dram_capacity=1, sram_capacity=1, sram_bandwidth=1e9,
+                tdp_w=1, idle_w=0, launch_overhead_s=0, query_overhead_s=0,
+                host_transfer_bw=0, gather_efficiency=0.5, mlp_efficiency=0.5,
+                small_gemm_factor=0.5, elementwise_efficiency=0.5,
+                parallelism="ring",
+            )
+
+
+class TestCatalog:
+    def test_paper_table1_values(self):
+        # Table 1 anchors: capacities, bandwidths, TDPs.
+        assert CPU_BROADWELL.dram_capacity == 264 * GB
+        assert CPU_BROADWELL.dram_bandwidth == 76.8e9
+        assert CPU_BROADWELL.tdp_w == 105.0
+        assert GPU_V100.dram_capacity == 32 * GB
+        assert GPU_V100.dram_bandwidth == 900e9
+        assert GPU_V100.tdp_w == 250.0
+        assert IPU_POD16.dram_capacity == 1024 * GB
+        assert IPU_POD16.dram_bandwidth == 80e9
+        assert IPU_POD16.tdp_w == 2400.0
+
+    def test_ipu_sram_is_900mb_per_chip(self):
+        assert abs(IPU_GC200.sram_capacity / (1000 * MB) - 0.9) < 0.01
+
+    def test_tpu_tdp_ratio_vs_v100(self):
+        # Paper O3: TPU chip TDP is 1.8x a V100's.
+        assert abs(TPU_V3_CHIP.tdp_w / GPU_V100.tdp_w - 1.8) < 0.01
+
+    def test_lookup_by_name(self):
+        assert device_by_name("gpu-v100") is GPU_V100
+        with pytest.raises(KeyError):
+            device_by_name("h100")
+
+    def test_catalog_complete(self):
+        assert len(DEVICE_CATALOG) == 8
+        kinds = {d.kind for d in DEVICE_CATALOG.values()}
+        assert kinds == {"cpu", "gpu", "tpu", "ipu"}

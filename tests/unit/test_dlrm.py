@@ -1,0 +1,119 @@
+import numpy as np
+import pytest
+
+from repro.models import DLRM, build_dlrm
+from repro.models.configs import ModelConfig
+from repro.nn.gradcheck import numerical_gradient
+from repro.nn.losses import bce_with_logits
+
+REPRESENTATIONS = ["table", "dhe", "select", "hybrid"]
+
+
+def batch_for(config, rng, n=4):
+    dense = rng.standard_normal((n, config.n_dense))
+    sparse = np.stack(
+        [rng.integers(0, rows, size=n) for rows in config.cardinalities], axis=1
+    )
+    return dense, sparse
+
+
+class TestBuildDLRM:
+    @pytest.mark.parametrize("rep", REPRESENTATIONS)
+    def test_forward_shape(self, rep, tiny_config, rng):
+        model = build_dlrm(tiny_config, rep, rng, k=8, dnn=8, h=1)
+        dense, sparse = batch_for(tiny_config, rng)
+        assert model(dense, sparse).shape == (4,)
+
+    @pytest.mark.parametrize("rep", REPRESENTATIONS)
+    def test_predict_proba_range(self, rep, tiny_config, rng):
+        model = build_dlrm(tiny_config, rep, rng, k=8, dnn=8, h=1)
+        dense, sparse = batch_for(tiny_config, rng)
+        probs = model.predict_proba(dense, sparse)
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_unknown_representation(self, tiny_config, rng):
+        with pytest.raises(ValueError):
+            build_dlrm(tiny_config, "tt-rec", rng)
+
+    def test_select_replaces_largest_tables(self, tiny_config, rng):
+        model = build_dlrm(tiny_config, "select", rng, k=8, dnn=8, h=1)
+        kinds = [f.use_dhe for f in model.embeddings.features]
+        # Largest cardinalities are 11 (idx 1), 7 (idx 0), 5 (idx 2) — all 3
+        # replaced since the default replaces the top 3.
+        assert sum(kinds) == 3
+
+    def test_select_custom_features(self, tiny_config, rng):
+        model = build_dlrm(
+            tiny_config, "select", rng, k=8, dnn=8, h=1, dhe_features={1}
+        )
+        flags = [f.use_dhe for f in model.embeddings.features]
+        assert flags == [False, True, False]
+
+    def test_hybrid_dim_split(self, tiny_config, rng):
+        model = build_dlrm(
+            tiny_config, "hybrid", rng, k=8, dnn=8, h=1, table_dim=2, dhe_dim=4
+        )
+        assert model.embeddings.output_dim == 6
+
+    def test_flops_ordering(self, tiny_config, rng):
+        flops = {}
+        for rep in REPRESENTATIONS:
+            kwargs = {"dhe_features": {1}} if rep == "select" else {}
+            model = build_dlrm(tiny_config, rep, rng, k=8, dnn=8, h=1, **kwargs)
+            flops[rep] = model.flops_per_sample()
+        assert flops["table"] < flops["select"] < flops["dhe"]
+        assert flops["hybrid"] > flops["table"]
+
+
+class TestGradients:
+    @pytest.mark.parametrize("rep", REPRESENTATIONS)
+    def test_full_model_gradcheck(self, rep, tiny_config, rng):
+        """End-to-end analytic grads vs. numerical, through the BCE loss."""
+        model = build_dlrm(tiny_config, rep, rng, k=4, dnn=6, h=1)
+        dense, sparse = batch_for(tiny_config, rng, n=3)
+        labels = (rng.random(3) > 0.5).astype(float)
+
+        logits = model(dense, sparse)
+        _, grad_logits = bce_with_logits(logits, labels)
+        model.zero_grad()
+        model.backward(grad_logits)
+
+        checked = 0
+        for name, param in model.named_parameters():
+            if param.size > 200:  # keep the numerical pass fast
+                continue
+            def loss_of(p_val, _param=param):
+                saved = _param.data.copy()
+                _param.data = p_val
+                val, _ = bce_with_logits(model(dense, sparse), labels)
+                _param.data = saved
+                return val
+
+            num = numerical_gradient(loss_of, param.data.copy(), eps=1e-5)
+            np.testing.assert_allclose(
+                param.grad, num, atol=1e-5, rtol=1e-3, err_msg=name
+            )
+            checked += 1
+        assert checked >= 3
+
+
+class TestValidation:
+    def test_mismatched_bottom_dim_rejected(self, tiny_config, rng):
+        from repro.embeddings import EmbeddingCollection, TableEmbedding
+        from repro.nn.layers import MLP
+
+        emb = EmbeddingCollection([TableEmbedding(5, 6, rng)])
+        bottom = MLP([4, 8], rng)  # outputs 8 != embedding dim 6
+        top = MLP([7, 1], rng)
+        with pytest.raises(ValueError, match="bottom MLP output dim"):
+            DLRM(bottom, emb, top)
+
+    def test_mismatched_top_dim_rejected(self, rng):
+        from repro.embeddings import EmbeddingCollection, TableEmbedding
+        from repro.nn.layers import MLP
+
+        emb = EmbeddingCollection([TableEmbedding(5, 6, rng)])
+        bottom = MLP([4, 6], rng)
+        top = MLP([99, 1], rng)
+        with pytest.raises(ValueError, match="top MLP input dim"):
+            DLRM(bottom, emb, top)

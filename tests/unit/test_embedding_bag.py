@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.nn import EmbeddingBag
+from repro.nn.gradcheck import numerical_gradient
+
+
+class TestEmbeddingBagForward:
+    def test_sum_pooling(self, rng):
+        bag = EmbeddingBag(10, 4, rng, mode="sum")
+        ids = np.array([1, 2, 3, 7])
+        offsets = np.array([0, 2])  # bags: {1,2}, {3,7}
+        out = bag(ids, offsets)
+        w = bag.weight.data
+        np.testing.assert_allclose(out[0], w[1] + w[2])
+        np.testing.assert_allclose(out[1], w[3] + w[7])
+
+    def test_mean_pooling(self, rng):
+        bag = EmbeddingBag(10, 4, rng, mode="mean")
+        out = bag(np.array([1, 2, 3]), np.array([0, 2]))
+        w = bag.weight.data
+        np.testing.assert_allclose(out[0], (w[1] + w[2]) / 2)
+        np.testing.assert_allclose(out[1], w[3])
+
+    def test_empty_bag_is_zero(self, rng):
+        bag = EmbeddingBag(10, 4, rng)
+        out = bag(np.array([5]), np.array([0, 1]))  # second bag empty
+        np.testing.assert_array_equal(out[1], np.zeros(4))
+
+    def test_single_id_bags_match_table(self, rng):
+        bag = EmbeddingBag(10, 4, rng)
+        ids = np.array([0, 4, 9])
+        out = bag(ids, np.arange(3))
+        np.testing.assert_array_equal(out, bag.weight.data[ids])
+
+    def test_validation(self, rng):
+        bag = EmbeddingBag(10, 4, rng)
+        with pytest.raises(ValueError):
+            bag(np.array([1]), np.array([1]))  # offsets must start at 0
+        with pytest.raises(IndexError):
+            bag(np.array([10]), np.array([0]))
+        with pytest.raises(ValueError):
+            EmbeddingBag(10, 4, rng, mode="max")
+
+
+class TestEmbeddingBagBackward:
+    @pytest.mark.parametrize("mode", ["sum", "mean"])
+    def test_gradients_match_numerical(self, mode, rng):
+        bag = EmbeddingBag(8, 3, rng, mode=mode)
+        ids = np.array([0, 1, 1, 5, 7])
+        offsets = np.array([0, 3, 3])  # bags of sizes 3, 0, 2
+        out = bag(ids, offsets)
+        probe = rng.standard_normal(out.shape)
+        bag.zero_grad()
+        bag.backward(probe)
+
+        def loss_of(weights):
+            saved = bag.weight.data.copy()
+            bag.weight.data = weights
+            val = float(np.sum(bag(ids, offsets) * probe))
+            bag.weight.data = saved
+            return val
+
+        num = numerical_gradient(loss_of, bag.weight.data.copy())
+        np.testing.assert_allclose(bag.weight.grad, num, atol=1e-7)
+
+    def test_duplicate_ids_accumulate(self, rng):
+        bag = EmbeddingBag(8, 3, rng, mode="sum")
+        bag(np.array([2, 2]), np.array([0]))
+        bag.zero_grad()
+        bag.backward(np.ones((1, 3)))
+        np.testing.assert_allclose(bag.weight.grad[2], 2 * np.ones(3))

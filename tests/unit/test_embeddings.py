@@ -1,0 +1,164 @@
+import numpy as np
+import pytest
+
+from repro.embeddings import (
+    DHEEmbedding,
+    EmbeddingCollection,
+    HybridEmbedding,
+    SelectEmbedding,
+    TableEmbedding,
+)
+from repro.embeddings.dhe import decoder_layer_sizes
+
+
+class TestTableEmbedding:
+    def test_output_shape_and_dim(self, rng):
+        emb = TableEmbedding(20, 6, rng)
+        assert emb.output_dim == 6
+        assert emb(np.array([0, 5])).shape == (2, 6)
+
+    def test_zero_flops(self, rng):
+        assert TableEmbedding(20, 6, rng).flops_per_lookup() == 0
+
+    def test_bytes_per_lookup(self, rng):
+        assert TableEmbedding(20, 6, rng).bytes_per_lookup() == 24
+
+    def test_trainable(self, rng):
+        emb = TableEmbedding(20, 6, rng)
+        ids = np.array([3, 3])
+        emb(ids)
+        emb.backward(np.ones((2, 6)))
+        assert np.all(emb.table.weight.grad[3] == 2.0)
+
+
+class TestDHEEmbedding:
+    def test_output_shape(self, rng):
+        emb = DHEEmbedding(dim=6, k=8, dnn=16, h=2, rng=rng)
+        assert emb(np.array([1, 2, 3])).shape == (3, 6)
+
+    def test_deterministic_per_id(self, rng):
+        emb = DHEEmbedding(dim=4, k=8, dnn=8, h=1, rng=rng)
+        a = emb(np.array([42]))
+        b = emb(np.array([42]))
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_ids_different_vectors(self, rng):
+        emb = DHEEmbedding(dim=4, k=32, dnn=16, h=1, rng=rng)
+        out = emb(np.array([1, 2]))
+        assert not np.allclose(out[0], out[1])
+
+    def test_no_per_id_state(self, rng):
+        emb = DHEEmbedding(dim=4, k=8, dnn=8, h=1, rng=rng)
+        # Footprint is decoder-only, independent of vocabulary size.
+        assert emb.num_parameters() == sum(
+            a * b + b for a, b in zip([8, 8], [8, 4])
+        )
+
+    def test_encode_decode_composition(self, rng):
+        emb = DHEEmbedding(dim=4, k=8, dnn=8, h=1, rng=rng)
+        ids = np.array([5, 9])
+        np.testing.assert_allclose(emb.decode(emb.encode(ids)), emb(ids))
+
+    def test_decoder_layer_sizes(self):
+        assert decoder_layer_sizes(32, 64, 2, 16) == [32, 64, 64, 16]
+        assert decoder_layer_sizes(32, 64, 0, 16) == [32, 16]
+
+    def test_custom_decoder_sizes_validated(self, rng):
+        with pytest.raises(ValueError):
+            DHEEmbedding(dim=4, k=8, dnn=8, h=1, rng=rng, decoder_sizes=[9, 4])
+
+    def test_flops_positive(self, rng):
+        emb = DHEEmbedding(dim=4, k=8, dnn=8, h=1, rng=rng)
+        assert emb.flops_per_lookup() > 0
+
+    def test_trains_decoder_only(self, rng):
+        emb = DHEEmbedding(dim=4, k=8, dnn=8, h=1, rng=rng)
+        emb(np.array([1]))
+        emb.backward(np.ones((1, 4)))
+        assert any(np.any(p.grad != 0) for p in emb.parameters())
+
+
+class TestHybridEmbedding:
+    def test_concatenates_dims(self, rng):
+        emb = HybridEmbedding(20, table_dim=4, dhe_dim=6, k=8, dnn=8, h=1, rng=rng)
+        assert emb.output_dim == 10
+        assert emb(np.array([0, 1])).shape == (2, 10)
+
+    def test_table_slice_matches_table(self, rng):
+        emb = HybridEmbedding(20, table_dim=4, dhe_dim=6, k=8, dnn=8, h=1, rng=rng)
+        out = emb(np.array([7]))
+        np.testing.assert_array_equal(out[0, :4], emb.table.table.weight.data[7])
+
+    def test_dhe_slice_matches_dhe(self, rng):
+        emb = HybridEmbedding(20, table_dim=4, dhe_dim=6, k=8, dnn=8, h=1, rng=rng)
+        out = emb(np.array([7]))
+        np.testing.assert_allclose(out[0, 4:], emb.dhe(np.array([7]))[0])
+
+    def test_backward_routes_both(self, rng):
+        emb = HybridEmbedding(20, table_dim=4, dhe_dim=6, k=8, dnn=8, h=1, rng=rng)
+        emb(np.array([3]))
+        emb.backward(np.ones((1, 10)))
+        assert np.any(emb.table.table.weight.grad[3] != 0)
+        assert any(np.any(p.grad != 0) for p in emb.dhe.parameters())
+
+    def test_rejects_zero_dims(self, rng):
+        with pytest.raises(ValueError):
+            HybridEmbedding(20, table_dim=0, dhe_dim=6, k=8, dnn=8, h=1, rng=rng)
+
+
+class TestSelectEmbedding:
+    def test_table_mode(self, rng):
+        emb = SelectEmbedding(20, 6, use_dhe=False, k=8, dnn=8, h=1, rng=rng)
+        assert isinstance(emb.inner, TableEmbedding)
+        assert emb.flops_per_lookup() == 0
+
+    def test_dhe_mode(self, rng):
+        emb = SelectEmbedding(20, 6, use_dhe=True, k=8, dnn=8, h=1, rng=rng)
+        assert isinstance(emb.inner, DHEEmbedding)
+        assert emb.flops_per_lookup() > 0
+
+    def test_forward_shapes_match(self, rng):
+        for use_dhe in (False, True):
+            emb = SelectEmbedding(20, 6, use_dhe, k=8, dnn=8, h=1, rng=rng)
+            assert emb(np.array([0, 1])).shape == (2, 6)
+
+
+class TestEmbeddingCollection:
+    def test_stacks_features(self, rng):
+        feats = [TableEmbedding(10, 4, rng) for _ in range(3)]
+        coll = EmbeddingCollection(feats)
+        out = coll(np.zeros((5, 3), dtype=int))
+        assert out.shape == (5, 3, 4)
+
+    def test_mixed_kinds(self, rng):
+        feats = [
+            TableEmbedding(10, 4, rng),
+            DHEEmbedding(dim=4, k=8, dnn=8, h=1, rng=rng),
+        ]
+        coll = EmbeddingCollection(feats)
+        assert coll.kinds() == ["table", "dhe"]
+        assert coll(np.zeros((2, 2), dtype=int)).shape == (2, 2, 4)
+
+    def test_rejects_mismatched_dims(self, rng):
+        with pytest.raises(ValueError, match="share an output dim"):
+            EmbeddingCollection(
+                [TableEmbedding(10, 4, rng), TableEmbedding(10, 5, rng)]
+            )
+
+    def test_rejects_wrong_id_shape(self, rng):
+        coll = EmbeddingCollection([TableEmbedding(10, 4, rng)])
+        with pytest.raises(ValueError, match="expected ids of shape"):
+            coll(np.zeros((5, 2), dtype=int))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EmbeddingCollection([])
+
+    def test_per_sample_costs_sum(self, rng):
+        feats = [
+            TableEmbedding(10, 4, rng),
+            DHEEmbedding(dim=4, k=8, dnn=8, h=1, rng=rng),
+        ]
+        coll = EmbeddingCollection(feats)
+        assert coll.flops_per_sample() == feats[1].flops_per_lookup()
+        assert coll.bytes_per_sample() == sum(f.bytes_per_lookup() for f in feats)

@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+
+from repro.embeddings.hashing import HashFamily, encode_ids
+
+
+class TestHashFamily:
+    def test_output_shape(self):
+        family = HashFamily(k=8, m=100, seed=0)
+        out = family(np.arange(10))
+        assert out.shape == (10, 8)
+
+    def test_range(self):
+        family = HashFamily(k=16, m=50, seed=1)
+        out = family(np.arange(0, 10_000, 7))
+        assert out.min() >= 0 and out.max() < 50
+
+    def test_deterministic_given_seed(self):
+        a = HashFamily(k=4, m=1000, seed=7)(np.arange(100))
+        b = HashFamily(k=4, m=1000, seed=7)(np.arange(100))
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = HashFamily(k=4, m=1000, seed=1)(np.arange(100))
+        b = HashFamily(k=4, m=1000, seed=2)(np.arange(100))
+        assert not np.array_equal(a, b)
+
+    def test_functions_are_independent(self):
+        out = HashFamily(k=8, m=10_000, seed=3)(np.arange(500))
+        # Any two hash columns should disagree on most inputs.
+        for i in range(8):
+            for j in range(i + 1, 8):
+                assert np.mean(out[:, i] == out[:, j]) < 0.05
+
+    def test_roughly_uniform(self):
+        family = HashFamily(k=1, m=10, seed=5)
+        out = family(np.arange(100_000)).ravel()
+        counts = np.bincount(out, minlength=10)
+        assert counts.min() > 0.8 * 100_000 / 10
+        assert counts.max() < 1.2 * 100_000 / 10
+
+    def test_large_ids_no_overflow(self):
+        family = HashFamily(k=4, m=1000, seed=0)
+        out = family(np.array([2**33 - 1, 10_131_227]))
+        assert out.min() >= 0 and out.max() < 1000
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            HashFamily(k=2, m=10, seed=0)(np.array([-1]))
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            HashFamily(k=0, m=10, seed=0)
+        with pytest.raises(ValueError):
+            HashFamily(k=2, m=1, seed=0)
+
+    def test_flops_per_id(self):
+        assert HashFamily(k=32, m=10, seed=0).flops_per_id() == 128
+
+
+class TestEncodeIds:
+    def test_uniform_range(self):
+        hashed = np.array([[0, 50, 99]])
+        out = encode_ids(hashed, m=100, transform="uniform")
+        np.testing.assert_allclose(out[0, 0], -1.0)
+        np.testing.assert_allclose(out[0, 2], 1.0)
+
+    def test_gaussian_standardized(self):
+        rng = np.random.default_rng(0)
+        hashed = rng.integers(0, 1_000_000, size=(50_000, 1))
+        out = encode_ids(hashed, m=1_000_000, transform="gaussian")
+        assert abs(out.mean()) < 0.02
+        assert abs(out.std() - 1.0) < 0.02
+
+    def test_gaussian_finite(self):
+        out = encode_ids(np.array([[0, 999_999]]), m=1_000_000, transform="gaussian")
+        assert np.isfinite(out).all()
+
+    def test_unknown_transform(self):
+        with pytest.raises(ValueError):
+            encode_ids(np.zeros((1, 1), dtype=int), m=10, transform="cauchy")

@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.models.interactions import DotInteraction
+from repro.nn.gradcheck import numerical_gradient
+
+
+class TestForward:
+    def test_output_dim(self, rng):
+        inter = DotInteraction()
+        z0 = rng.standard_normal((3, 4))
+        emb = rng.standard_normal((3, 5, 4))
+        out = inter(z0, emb)
+        assert out.shape == (3, DotInteraction.output_dim(4, 5))
+
+    def test_output_dim_formula(self):
+        # F+1 vectors -> (F+1)F/2 pairs plus the dense passthrough.
+        assert DotInteraction.output_dim(16, 26) == 16 + 27 * 26 // 2
+
+    def test_passthrough_slice(self, rng):
+        inter = DotInteraction()
+        z0 = rng.standard_normal((2, 4))
+        emb = rng.standard_normal((2, 3, 4))
+        out = inter(z0, emb)
+        np.testing.assert_array_equal(out[:, :4], z0)
+
+    def test_pairwise_values(self, rng):
+        inter = DotInteraction()
+        z0 = rng.standard_normal((1, 2))
+        emb = rng.standard_normal((1, 2, 2))
+        out = inter(z0, emb)[0]
+        vectors = [z0[0], emb[0, 0], emb[0, 1]]
+        expected_pairs = [
+            np.dot(vectors[1], vectors[0]),
+            np.dot(vectors[2], vectors[0]),
+            np.dot(vectors[2], vectors[1]),
+        ]
+        np.testing.assert_allclose(out[2:], expected_pairs)
+
+    def test_shape_validation(self, rng):
+        inter = DotInteraction()
+        with pytest.raises(ValueError):
+            inter(rng.standard_normal((2, 4)), rng.standard_normal((2, 3, 5)))
+        with pytest.raises(ValueError):
+            inter(rng.standard_normal(4), rng.standard_normal((2, 3, 4)))
+
+
+class TestBackward:
+    def test_gradients_match_numerical(self, rng):
+        inter = DotInteraction()
+        z0 = rng.standard_normal((2, 3))
+        emb = rng.standard_normal((2, 4, 3))
+        out = inter(z0, emb)
+        probe = rng.standard_normal(out.shape)
+        grad_z0, grad_emb = inter.backward(probe)
+
+        num_z0 = numerical_gradient(
+            lambda z: float(np.sum(inter(z, emb) * probe)), z0.copy()
+        )
+        np.testing.assert_allclose(grad_z0, num_z0, atol=1e-6)
+
+        num_emb = numerical_gradient(
+            lambda e: float(np.sum(inter(z0, e) * probe)), emb.copy()
+        )
+        np.testing.assert_allclose(grad_emb, num_emb, atol=1e-6)
+
+    def test_flops_positive(self):
+        assert DotInteraction.flops(128, 16, 26) > 0

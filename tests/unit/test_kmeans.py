@@ -1,0 +1,98 @@
+import numpy as np
+import pytest
+
+from repro.clustering.kmeans import KMeans
+from repro.clustering.knn import knn_flops, nearest_centroid, normalize_rows
+
+
+def three_blobs(rng, n_per=100, spread=0.1):
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    points = np.concatenate(
+        [c + spread * rng.standard_normal((n_per, 2)) for c in centers]
+    )
+    return points, centers
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        points, centers = three_blobs(rng)
+        km = KMeans(3, seed=0).fit(points)
+        found = km.centroids[np.argsort(km.centroids.sum(axis=1))]
+        expected = centers[np.argsort(centers.sum(axis=1))]
+        np.testing.assert_allclose(found, expected, atol=0.2)
+
+    def test_labels_partition_blobs(self, rng):
+        points, _ = three_blobs(rng)
+        km = KMeans(3, seed=0).fit(points)
+        labels = km.predict(points)
+        # Each blob of 100 points should map to a single cluster.
+        for blob in range(3):
+            blob_labels = labels[blob * 100 : (blob + 1) * 100]
+            assert len(set(blob_labels.tolist())) == 1
+
+    def test_inertia_decreases_with_k(self, rng):
+        points = rng.standard_normal((300, 4))
+        inertias = [
+            KMeans(k, seed=1).fit(points).inertia for k in (1, 4, 16)
+        ]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_transform_to_centroids(self, rng):
+        points, _ = three_blobs(rng)
+        km = KMeans(3, seed=0).fit(points)
+        snapped = km.transform_to_centroids(points)
+        assert snapped.shape == points.shape
+        assert len(np.unique(snapped, axis=0)) == 3
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeans(2).predict(np.zeros((3, 2)))
+
+    def test_too_few_points_rejected(self, rng):
+        with pytest.raises(ValueError):
+            KMeans(10).fit(rng.standard_normal((5, 2)))
+
+    def test_k_equals_n_zero_inertia(self, rng):
+        points = rng.standard_normal((8, 3))
+        km = KMeans(8, seed=2).fit(points)
+        assert km.inertia < 1e-12
+
+    def test_deterministic_given_seed(self, rng):
+        points = rng.standard_normal((100, 3))
+        a = KMeans(5, seed=3).fit(points).centroids
+        b = KMeans(5, seed=3).fit(points).centroids
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+
+
+class TestKNN:
+    def test_normalize_rows_unit_norm(self, rng):
+        x = rng.standard_normal((10, 4)) * 5
+        norms = np.linalg.norm(normalize_rows(x), axis=1)
+        np.testing.assert_allclose(norms, 1.0)
+
+    def test_normalize_zero_row_safe(self):
+        out = normalize_rows(np.zeros((1, 3)))
+        assert np.isfinite(out).all()
+
+    def test_nearest_centroid_exact_match(self, rng):
+        centroids = rng.standard_normal((5, 8))
+        idx = nearest_centroid(centroids.copy(), centroids)
+        np.testing.assert_array_equal(idx, np.arange(5))
+
+    def test_nearest_centroid_cosine(self):
+        centroids = np.array([[1.0, 0.0], [0.0, 1.0]])
+        queries = np.array([[0.9, 0.1], [0.2, 5.0]])
+        np.testing.assert_array_equal(
+            nearest_centroid(queries, centroids), [0, 1]
+        )
+
+    def test_dim_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            nearest_centroid(rng.standard_normal((2, 3)), rng.standard_normal((2, 4)))
+
+    def test_knn_flops(self):
+        assert knn_flops(10, 64, 256) == 2 * 10 * 64 * 256

@@ -1,0 +1,84 @@
+"""Multi-chip latency semantics: data-split, replicated, pipeline, sharded."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.representations import paper_configs
+from repro.hardware.catalog import IPU_GC200, IPU_M2000, IPU_POD16, TPU_V3_BOARD
+from repro.hardware.latency import estimate_breakdown
+from repro.hardware.topology import scale_out
+from repro.models.configs import KAGGLE, TERABYTE
+
+CFGS = paper_configs(KAGGLE)
+
+
+class TestDataSplit:
+    def test_splitting_batch_reduces_compute_time(self):
+        """'data' parallelism divides one query's batch across chips."""
+        split = replace(IPU_POD16, parallelism="data", replicas=1)
+        whole = replace(IPU_POD16, parallelism="replicated", replicas=16)
+        dhe = CFGS["dhe"]
+        bd_split = estimate_breakdown(dhe, KAGGLE, split, 4096)
+        bd_whole = estimate_breakdown(dhe, KAGGLE, whole, 4096)
+        assert bd_split.decoder < bd_whole.decoder
+
+
+class TestReplicated:
+    def test_latency_independent_of_replica_count(self):
+        """Replication buys concurrency, not per-query latency."""
+        four = estimate_breakdown(CFGS["dhe"], KAGGLE, TPU_V3_BOARD, 256).total
+        one = estimate_breakdown(
+            CFGS["dhe"], KAGGLE,
+            replace(TPU_V3_BOARD, n_chips=1, replicas=1, parallelism="single",
+                    peak_flops=TPU_V3_BOARD.peak_flops / 4,
+                    dram_bandwidth=TPU_V3_BOARD.dram_bandwidth / 4,
+                    dram_capacity=TPU_V3_BOARD.dram_capacity // 4,
+                    sram_capacity=TPU_V3_BOARD.sram_capacity // 4,
+                    sram_bandwidth=TPU_V3_BOARD.sram_bandwidth / 4),
+            256,
+        ).total
+        assert four == pytest.approx(one, rel=1e-9)
+
+    def test_concurrency_exposed(self):
+        assert TPU_V3_BOARD.concurrency == 4
+        assert IPU_POD16.concurrency == 16
+
+
+class TestPipeline:
+    def test_pipeline_uses_aggregate_sram(self):
+        """A 2.16 GB table spills one chip's 900 MB but fits a 4-chip
+        board's 3.6 GB pipeline, avoiding the Streaming Memory cliff."""
+        table = CFGS["table"]
+        chip = estimate_breakdown(table, KAGGLE, IPU_GC200, 256)
+        board = estimate_breakdown(table, KAGGLE, IPU_M2000, 256)
+        assert board.embedding < chip.embedding / 5
+
+
+class TestSharded:
+    def test_comm_grows_with_batch(self):
+        sharded = replace(IPU_POD16, parallelism="sharded", replicas=1)
+        table = paper_configs(TERABYTE)["table"]
+        small = estimate_breakdown(table, TERABYTE, sharded, 128).comm
+        large = estimate_breakdown(table, TERABYTE, sharded, 1024).comm
+        assert large > small > 0
+
+    def test_single_chip_sharded_has_no_comm(self):
+        solo = replace(
+            IPU_GC200, parallelism="sharded", replicas=1, n_chips=1
+        )
+        bd = estimate_breakdown(CFGS["table"], KAGGLE, solo, 256)
+        assert bd.comm == 0.0
+
+
+class TestScaleOutHelper:
+    def test_replicated_scale_out_concurrency(self):
+        pod = scale_out(IPU_GC200, 8, "replicated")
+        assert pod.concurrency == 8
+        assert pod.peak_flops == 8 * IPU_GC200.peak_flops
+
+    def test_scaled_latency_matches_single_chip_for_replicated(self):
+        pod = scale_out(IPU_GC200, 8, "replicated")
+        chip = estimate_breakdown(CFGS["dhe"], KAGGLE, IPU_GC200, 128).total
+        scaled = estimate_breakdown(CFGS["dhe"], KAGGLE, pod, 128).total
+        assert scaled == pytest.approx(chip, rel=0.01)

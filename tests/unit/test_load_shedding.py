@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+
+from repro.core.online import StaticScheduler
+from repro.data.queries import Query, QuerySet
+from repro.serving.simulator import ServingSimulator
+from repro.serving.workload import ServingScenario
+
+from tests.unit.test_online import fake_path
+from repro.hardware.catalog import CPU_BROADWELL
+
+
+def overload_scenario(n=20, service=0.05, sla=0.01):
+    """All queries arrive at t=0 onto a device that serves one per 50 ms."""
+    queries = [Query(index=i, size=10, arrival_s=0.0) for i in range(n)]
+    return ServingScenario(queries=QuerySet(queries=queries), sla_s=sla)
+
+
+def slow_path(service=0.05):
+    return fake_path("table", CPU_BROADWELL, 80.0, service, per_sample=0.0)
+
+
+class TestDropLatePolicy:
+    def test_drops_backlogged_queries(self):
+        sim = ServingSimulator(
+            StaticScheduler([slow_path()]), track_energy=False,
+            shed_policy="drop-late",
+        )
+        result = sim.run(overload_scenario())
+        assert result.drop_rate > 0.5
+        served = [r for r in result.records if not r.dropped]
+        # Served queries never started after waiting past the SLA.
+        for record in served:
+            assert record.start_s - record.arrival_s <= 0.01 + 0.05
+
+    def test_dropped_queries_count_as_violations_not_correct(self):
+        sim = ServingSimulator(
+            StaticScheduler([slow_path()]), track_energy=False,
+            shed_policy="drop-late",
+        )
+        result = sim.run(overload_scenario())
+        dropped = [r for r in result.records if r.dropped]
+        assert dropped
+        assert all(r.correct_samples == 0.0 for r in dropped)
+        assert result.violation_rate >= result.drop_rate
+
+    def test_no_policy_serves_everything(self):
+        sim = ServingSimulator(StaticScheduler([slow_path()]), track_energy=False)
+        result = sim.run(overload_scenario())
+        assert result.drop_rate == 0.0
+        assert len([r for r in result.records if not r.dropped]) == 20
+
+    def test_underloaded_system_drops_nothing(self):
+        queries = [Query(index=i, size=10, arrival_s=i * 1.0) for i in range(5)]
+        scenario = ServingScenario(queries=QuerySet(queries=queries), sla_s=0.1)
+        sim = ServingSimulator(
+            StaticScheduler([slow_path()]), track_energy=False,
+            shed_policy="drop-late",
+        )
+        assert sim.run(scenario).drop_rate == 0.0
+
+    def test_shedding_raises_compliant_throughput_under_overload(self):
+        """Shedding sacrifices raw samples to answer the rest on time."""
+        scenario = overload_scenario(n=40)
+        keep = ServingSimulator(
+            StaticScheduler([slow_path()]), track_energy=False
+        ).run(scenario)
+        shed = ServingSimulator(
+            StaticScheduler([slow_path()]), track_energy=False,
+            shed_policy="drop-late",
+        ).run(scenario)
+        assert shed.compliant_correct_throughput >= keep.compliant_correct_throughput
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ServingSimulator(StaticScheduler([slow_path()]), shed_policy="random")

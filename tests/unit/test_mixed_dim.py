@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.embeddings.collection import EmbeddingCollection
+from repro.embeddings.mixed_dim import (
+    MixedDimEmbedding,
+    mixed_dim_bytes,
+    mixed_dimensions,
+)
+from repro.models.configs import KAGGLE
+from repro.nn.gradcheck import numerical_gradient
+
+
+class TestMixedDimensions:
+    def test_bigger_tables_get_smaller_dims(self):
+        dims = mixed_dimensions([10, 1000, 100_000], base_dim=32)
+        assert dims[0] >= dims[1] >= dims[2]
+
+    def test_dims_are_powers_of_two_within_bounds(self):
+        dims = mixed_dimensions(KAGGLE.cardinalities, base_dim=16)
+        for d in dims:
+            assert 2 <= d <= 16
+            assert d & (d - 1) == 0
+
+    def test_alpha_zero_uniform(self):
+        dims = mixed_dimensions([10, 10_000], base_dim=16, alpha=0.0)
+        assert dims == [16, 16]
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            mixed_dimensions([10], 16, alpha=2.0)
+
+    def test_compression_vs_uniform(self):
+        md = mixed_dim_bytes(KAGGLE.cardinalities, base_dim=16, alpha=0.4)
+        uniform = sum(rows * 16 * 4 for rows in KAGGLE.cardinalities)
+        assert md < uniform / 2
+
+
+class TestMixedDimEmbedding:
+    def test_projects_to_output_dim(self, rng):
+        emb = MixedDimEmbedding(100, native_dim=4, output_dim=16, rng=rng)
+        assert emb(np.array([0, 5])).shape == (2, 16)
+
+    def test_full_dim_skips_projection(self, rng):
+        emb = MixedDimEmbedding(100, native_dim=16, output_dim=16, rng=rng)
+        assert emb.projection is None
+        assert emb.flops_per_lookup() == 0
+
+    def test_native_exceeding_output_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MixedDimEmbedding(100, native_dim=32, output_dim=16, rng=rng)
+
+    def test_gradients_match_numerical(self, rng):
+        emb = MixedDimEmbedding(20, native_dim=3, output_dim=6, rng=rng)
+        ids = np.array([1, 7, 7])
+        out = emb(ids)
+        probe = rng.standard_normal(out.shape)
+        emb.zero_grad()
+        emb.backward(probe)
+        for name, param in emb.named_parameters():
+            def loss_of(p_val, _param=param):
+                saved = _param.data.copy()
+                _param.data = p_val
+                val = float(np.sum(emb(ids) * probe))
+                _param.data = saved
+                return val
+
+            num = numerical_gradient(loss_of, param.data.copy())
+            np.testing.assert_allclose(
+                param.grad, num, atol=1e-6, rtol=1e-4, err_msg=name
+            )
+
+    def test_mixes_into_collection(self, rng):
+        dims = mixed_dimensions([50, 5000], base_dim=8)
+        features = [
+            MixedDimEmbedding(rows, d, 8, rng)
+            for rows, d in zip([50, 5000], dims)
+        ]
+        coll = EmbeddingCollection(features)
+        out = coll(np.zeros((3, 2), dtype=int))
+        assert out.shape == (3, 2, 8)
+
+    def test_bytes_accounting(self, rng):
+        emb = MixedDimEmbedding(100, native_dim=4, output_dim=16, rng=rng)
+        assert emb.bytes() == 100 * 4 * 4 + 4 * 16 * 4

@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+
+from repro.nn.activations import Identity, ReLU, Sigmoid, Tanh, make_activation
+from repro.nn.gradcheck import check_module_gradients
+
+
+class TestReLU:
+    def test_clamps_negatives(self, rng):
+        relu = ReLU()
+        x = np.array([-2.0, -0.1, 0.0, 0.5, 3.0])
+        np.testing.assert_array_equal(relu(x), [0, 0, 0, 0.5, 3.0])
+
+    def test_gradient_masks(self, rng):
+        relu = ReLU()
+        x = np.array([-1.0, 2.0])
+        relu(x)
+        grad = relu.backward(np.array([5.0, 5.0]))
+        np.testing.assert_array_equal(grad, [0.0, 5.0])
+
+    def test_numerical_gradient(self, rng):
+        # Keep inputs away from the kink at 0.
+        x = rng.standard_normal((4, 3))
+        x[np.abs(x) < 0.1] += 0.5
+        check_module_gradients(ReLU(), x, rng)
+
+
+class TestSigmoid:
+    def test_range(self, rng):
+        out = Sigmoid()(rng.standard_normal(100) * 10)
+        assert np.all((out > 0) & (out < 1))
+
+    def test_extreme_values_stable(self):
+        out = Sigmoid()(np.array([-1000.0, 1000.0]))
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    def test_midpoint(self):
+        np.testing.assert_allclose(Sigmoid()(np.array([0.0])), [0.5])
+
+    def test_numerical_gradient(self, rng):
+        check_module_gradients(Sigmoid(), rng.standard_normal((3, 4)), rng)
+
+
+class TestTanh:
+    def test_matches_numpy(self, rng):
+        x = rng.standard_normal(20)
+        np.testing.assert_allclose(Tanh()(x), np.tanh(x))
+
+    def test_numerical_gradient(self, rng):
+        check_module_gradients(Tanh(), rng.standard_normal((3, 4)), rng)
+
+
+class TestIdentity:
+    def test_passthrough(self, rng):
+        x = rng.standard_normal(5)
+        np.testing.assert_array_equal(Identity()(x), x)
+
+    def test_gradient_passthrough(self, rng):
+        ident = Identity()
+        ident(rng.standard_normal(5))
+        g = rng.standard_normal(5)
+        np.testing.assert_array_equal(ident.backward(g), g)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("relu", ReLU), ("sigmoid", Sigmoid), ("tanh", Tanh),
+        ("identity", Identity), ("none", Identity), ("RELU", ReLU),
+    ])
+    def test_known_names(self, name, cls):
+        assert isinstance(make_activation(name), cls)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            make_activation("gelu")

@@ -1,0 +1,126 @@
+import numpy as np
+import pytest
+
+from repro.nn import EmbeddingTable, Linear, MLP
+from repro.nn.gradcheck import check_module_gradients
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(5, 3, rng)
+        out = layer(rng.standard_normal((7, 5)))
+        assert out.shape == (7, 3)
+
+    def test_forward_matches_matmul(self, rng):
+        layer = Linear(4, 2, rng)
+        x = rng.standard_normal((3, 4))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(x), expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 2, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_rejects_wrong_input_dim(self, rng):
+        layer = Linear(4, 2, rng)
+        with pytest.raises(ValueError, match="expected input dim"):
+            layer(rng.standard_normal((3, 5)))
+
+    def test_rejects_nonpositive_dims(self, rng):
+        with pytest.raises(ValueError):
+            Linear(0, 2, rng)
+
+    def test_gradients_match_numerical(self, rng):
+        layer = Linear(4, 3, rng)
+        check_module_gradients(layer, rng.standard_normal((5, 4)), rng)
+
+    def test_flops(self, rng):
+        layer = Linear(4, 3, rng)
+        assert layer.flops(10) == 2 * 10 * 4 * 3
+
+    def test_3d_input_batched(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer(rng.standard_normal((2, 5, 4)))
+        assert out.shape == (2, 5, 3)
+
+    def test_xavier_init_bounded(self, rng):
+        layer = Linear(100, 100, rng)
+        limit = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(layer.weight.data) <= limit)
+
+
+class TestMLP:
+    def test_forward_shape(self, rng):
+        mlp = MLP([6, 12, 4], rng)
+        assert mlp(rng.standard_normal((3, 6))).shape == (3, 4)
+
+    def test_requires_two_sizes(self, rng):
+        with pytest.raises(ValueError):
+            MLP([5], rng)
+
+    def test_hidden_relu_output_identity(self, rng):
+        mlp = MLP([4, 8, 2], rng)
+        x = rng.standard_normal((100, 4))
+        out = mlp(x)
+        # Identity output can be negative; a sigmoid output could not.
+        assert (out < 0).any()
+
+    def test_sigmoid_output_bounded(self, rng):
+        mlp = MLP([4, 8, 2], rng, output_activation="sigmoid")
+        out = mlp(rng.standard_normal((50, 4)))
+        assert np.all((out > 0) & (out < 1))
+
+    def test_gradients_match_numerical(self, rng):
+        mlp = MLP([3, 6, 2], rng)
+        check_module_gradients(mlp, rng.standard_normal((4, 3)), rng)
+
+    def test_flops_sums_layers(self, rng):
+        mlp = MLP([3, 6, 2], rng)
+        assert mlp.flops(5) == 2 * 5 * (3 * 6 + 6 * 2)
+
+    def test_deep_stack(self, rng):
+        mlp = MLP([4, 8, 8, 8, 1], rng)
+        assert mlp(rng.standard_normal((2, 4))).shape == (2, 1)
+
+
+class TestEmbeddingTable:
+    def test_lookup_shape(self, rng):
+        table = EmbeddingTable(10, 4, rng)
+        out = table(np.array([0, 3, 9]))
+        assert out.shape == (3, 4)
+
+    def test_lookup_returns_rows(self, rng):
+        table = EmbeddingTable(10, 4, rng)
+        out = table(np.array([2]))
+        np.testing.assert_array_equal(out[0], table.weight.data[2])
+
+    def test_2d_ids(self, rng):
+        table = EmbeddingTable(10, 4, rng)
+        out = table(np.zeros((5, 3), dtype=int))
+        assert out.shape == (5, 3, 4)
+
+    def test_out_of_range_raises(self, rng):
+        table = EmbeddingTable(10, 4, rng)
+        with pytest.raises(IndexError):
+            table(np.array([10]))
+        with pytest.raises(IndexError):
+            table(np.array([-1]))
+
+    def test_backward_scatter_adds(self, rng):
+        table = EmbeddingTable(10, 4, rng)
+        ids = np.array([1, 1, 3])
+        table(ids)
+        grad = np.ones((3, 4))
+        table.backward(grad)
+        np.testing.assert_allclose(table.weight.grad[1], 2.0 * np.ones(4))
+        np.testing.assert_allclose(table.weight.grad[3], np.ones(4))
+        np.testing.assert_allclose(table.weight.grad[0], np.zeros(4))
+
+    def test_bytes(self, rng):
+        table = EmbeddingTable(100, 8, rng)
+        assert table.bytes() == 100 * 8 * 4
+
+    def test_rejects_bad_dims(self, rng):
+        with pytest.raises(ValueError):
+            EmbeddingTable(0, 4, rng)

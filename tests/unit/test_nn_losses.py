@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import numerical_gradient
+from repro.nn.losses import bce_with_logits, mse
+
+
+class TestBCEWithLogits:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([10.0, -10.0])
+        labels = np.array([1.0, 0.0])
+        loss, _ = bce_with_logits(logits, labels)
+        assert loss < 1e-4
+
+    def test_wrong_prediction_high_loss(self):
+        loss, _ = bce_with_logits(np.array([10.0]), np.array([0.0]))
+        assert loss > 5.0
+
+    def test_uncertain_is_log2(self):
+        loss, _ = bce_with_logits(np.zeros(4), np.array([0.0, 1.0, 0.0, 1.0]))
+        np.testing.assert_allclose(loss, np.log(2.0))
+
+    def test_gradient_matches_numerical(self, rng):
+        logits = rng.standard_normal(6)
+        labels = (rng.random(6) > 0.5).astype(float)
+        _, grad = bce_with_logits(logits, labels)
+        num = numerical_gradient(
+            lambda z: bce_with_logits(z, labels)[0], logits.copy()
+        )
+        np.testing.assert_allclose(grad, num, atol=1e-7)
+
+    def test_extreme_logits_stable(self):
+        loss, grad = bce_with_logits(np.array([500.0, -500.0]), np.array([0.0, 1.0]))
+        assert np.isfinite(loss)
+        assert np.isfinite(grad).all()
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bce_with_logits(np.zeros(3), np.zeros(4))
+
+
+class TestMSE:
+    def test_zero_at_match(self, rng):
+        x = rng.standard_normal(5)
+        loss, grad = mse(x, x.copy())
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, np.zeros(5))
+
+    def test_value(self):
+        loss, _ = mse(np.array([1.0, 3.0]), np.array([0.0, 0.0]))
+        np.testing.assert_allclose(loss, (1 + 9) / 2)
+
+    def test_gradient_matches_numerical(self, rng):
+        pred = rng.standard_normal(5)
+        target = rng.standard_normal(5)
+        _, grad = mse(pred, target)
+        num = numerical_gradient(lambda p: mse(p, target)[0], pred.copy())
+        np.testing.assert_allclose(grad, num, atol=1e-7)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros((3, 1)))

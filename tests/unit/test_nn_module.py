@@ -1,0 +1,69 @@
+import numpy as np
+import pytest
+
+from repro.nn import Linear, MLP, Module, Parameter
+
+
+class TestParameter:
+    def test_stores_float64(self):
+        p = Parameter(np.array([1, 2, 3]))
+        assert p.data.dtype == np.float64
+
+    def test_grad_starts_zero(self):
+        p = Parameter(np.ones((2, 3)))
+        assert np.all(p.grad == 0)
+        assert p.grad.shape == (2, 3)
+
+    def test_zero_grad_resets(self):
+        p = Parameter(np.ones(4))
+        p.grad += 5.0
+        p.zero_grad()
+        assert np.all(p.grad == 0)
+
+    def test_shape_and_size(self):
+        p = Parameter(np.ones((3, 5)))
+        assert p.shape == (3, 5)
+        assert p.size == 15
+
+    def test_repr_includes_name(self):
+        p = Parameter(np.ones(2), name="w")
+        assert "w" in repr(p)
+
+
+class TestModuleDiscovery:
+    def test_direct_parameters_found(self, rng):
+        layer = Linear(3, 4, rng)
+        names = dict(layer.named_parameters())
+        assert len(names) == 2  # weight + bias
+
+    def test_nested_module_parameters_found(self, rng):
+        mlp = MLP([3, 5, 2], rng)
+        params = mlp.parameters()
+        assert len(params) == 4  # two Linear layers x (weight, bias)
+
+    def test_list_of_modules_found(self, rng):
+        class Holder(Module):
+            def __init__(self):
+                self.layers = [Linear(2, 2, rng), Linear(2, 2, rng)]
+
+        holder = Holder()
+        assert len(holder.parameters()) == 4
+
+    def test_num_parameters_counts_scalars(self, rng):
+        layer = Linear(3, 4, rng)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_footprint_bytes_fp32(self, rng):
+        layer = Linear(3, 4, rng, bias=False)
+        assert layer.footprint_bytes() == 12 * 4
+
+    def test_zero_grad_recursive(self, rng):
+        mlp = MLP([3, 5, 2], rng)
+        for p in mlp.parameters():
+            p.grad += 1.0
+        mlp.zero_grad()
+        assert all(np.all(p.grad == 0) for p in mlp.parameters())
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward()

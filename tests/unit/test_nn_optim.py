@@ -1,0 +1,84 @@
+import numpy as np
+import pytest
+
+from repro.nn import Adagrad, Parameter, SGD
+
+
+def quadratic_params(rng):
+    """One parameter whose loss is ||p||^2 (gradient = 2p)."""
+    return Parameter(rng.standard_normal(5) + 3.0)
+
+
+class TestSGD:
+    def test_step_moves_against_gradient(self, rng):
+        p = quadratic_params(rng)
+        before = p.data.copy()
+        p.grad[...] = 2 * p.data
+        SGD([p], lr=0.1).step()
+        assert np.linalg.norm(p.data) < np.linalg.norm(before)
+
+    def test_converges_on_quadratic(self, rng):
+        p = quadratic_params(rng)
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            p.grad[...] = 2 * p.data
+            opt.step()
+        assert np.linalg.norm(p.data) < 1e-6
+
+    def test_momentum_accelerates(self, rng):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            p = Parameter(np.full(3, 10.0))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                p.grad[...] = 2 * p.data
+                opt.step()
+            losses[momentum] = float(np.sum(p.data**2))
+        assert losses[0.9] < losses[0.0]
+
+    def test_rejects_bad_lr(self, rng):
+        with pytest.raises(ValueError):
+            SGD([quadratic_params(rng)], lr=0.0)
+
+    def test_rejects_bad_momentum(self, rng):
+        with pytest.raises(ValueError):
+            SGD([quadratic_params(rng)], lr=0.1, momentum=1.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdagrad:
+    def test_converges_on_quadratic(self, rng):
+        p = quadratic_params(rng)
+        opt = Adagrad([p], lr=1.0)
+        for _ in range(300):
+            opt.zero_grad()
+            p.grad[...] = 2 * p.data
+            opt.step()
+        assert np.linalg.norm(p.data) < 0.05
+
+    def test_adapts_per_coordinate(self):
+        # Coordinate 0 gets big gradients, coordinate 1 small ones; Adagrad
+        # should shrink the effective step more for coordinate 0.
+        p = Parameter(np.array([1.0, 1.0]))
+        opt = Adagrad([p], lr=0.1)
+        p.grad[...] = np.array([100.0, 0.01])
+        opt.step()
+        step = np.abs(1.0 - p.data)
+        # Both steps ~lr because of normalization on the first step.
+        np.testing.assert_allclose(step, [0.1, 0.1], rtol=1e-4)
+        # Second identical gradient: accumulated history halves the step.
+        p.grad[...] = np.array([100.0, 0.01])
+        opt.step()
+        second_step = np.abs(1.0 - 0.1 - p.data)
+        assert np.all(second_step < step)
+
+    def test_zero_grad_clears(self, rng):
+        p = quadratic_params(rng)
+        p.grad += 1.0
+        Adagrad([p], lr=0.1).zero_grad()
+        assert np.all(p.grad == 0)

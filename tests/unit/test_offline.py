@@ -1,0 +1,103 @@
+import pytest
+
+from repro.core.offline import OfflinePlanner, default_planner_space
+from repro.core.representations import paper_configs
+from repro.experiments.setup import hw1_devices, hw2_devices
+from repro.hardware.device import GB, MB
+from repro.models.configs import KAGGLE, TERABYTE
+from repro.quality.estimator import QualityEstimator
+
+
+@pytest.fixture
+def planner():
+    return OfflinePlanner(KAGGLE, QualityEstimator("kaggle"))
+
+
+class TestAlgorithm1:
+    def test_hw1_maps_all_three_kinds(self, planner):
+        """On HW-1 (32 GB each) every device gets hybrid, table, and DHE."""
+        plan = planner.plan(hw1_devices())
+        for device_name in plan.mappings:
+            kinds = [rep.kind for rep in plan.reps_on(device_name)]
+            assert kinds == ["hybrid", "table", "dhe"]
+
+    def test_hw1_footprint_matches_table3(self, planner):
+        plan = planner.plan(hw1_devices())
+        total_gb = plan.unique_rep_bytes() / 1e9
+        # Table 3: MP-Rec Kaggle = 4.58 GB (embedding) + small dense MLPs.
+        assert 4.4 < total_gb < 4.8
+
+    def test_hw2_cpu_gets_small_table_plus_dhe(self):
+        """Table 4: the 1 GB CPU holds a dim-4 table (542 MB) + DHE (123 MB)."""
+        planner = OfflinePlanner(KAGGLE, QualityEstimator("kaggle"))
+        plan = planner.plan(hw2_devices())
+        cpu_reps = plan.reps_on("cpu-broadwell")
+        kinds = [rep.kind for rep in cpu_reps]
+        assert "table" in kinds and "dhe" in kinds
+        assert "hybrid" not in kinds  # 2.29 GB does not fit in 1 GB
+        table = next(rep for rep in cpu_reps if rep.kind == "table")
+        assert table.embedding_dim == 4  # 542 MB variant
+        assert abs(plan.device_bytes("cpu-broadwell") / 1e6 - 665) < 40
+
+    def test_hw2_gpu_gets_dhe_only(self):
+        """Table 4: the 200 MB GPU holds only DHE stacks (plus the
+        Algorithm 1 line-13 compact fallback)."""
+        planner = OfflinePlanner(KAGGLE, QualityEstimator("kaggle"))
+        plan = planner.plan(hw2_devices())
+        gpu_reps = plan.reps_on("gpu-v100")
+        assert set(rep.kind for rep in gpu_reps) == {"dhe"}
+        primary = gpu_reps[0]
+        assert primary.k == 2048  # the accuracy-optimal stack (123 MB)
+        assert abs(primary.total_bytes(KAGGLE) / 1e6 - 130) < 25
+
+    def test_capacity_respected_on_every_device(self, planner):
+        for devices in (hw1_devices(), hw2_devices()):
+            plan = planner.plan(devices)
+            for device in devices:
+                assert plan.device_bytes(device.name) <= device.total_memory
+
+    def test_accuracies_assigned_to_all(self, planner):
+        plan = planner.plan(hw1_devices())
+        for reps in plan.mappings.values():
+            for rep in reps:
+                assert rep.display in plan.accuracies
+
+    def test_best_accuracy_is_hybrid(self, planner):
+        plan = planner.plan(hw1_devices())
+        est = QualityEstimator("kaggle")
+        assert abs(plan.best_accuracy() - est.accuracy(paper_configs(KAGGLE)["hybrid"])) < 1e-9
+
+    def test_tiny_device_gets_compact_dhe(self):
+        planner = OfflinePlanner(KAGGLE, QualityEstimator("kaggle"))
+        tiny = hw2_devices()[1].with_memory_budget(40 * MB)
+        plan = planner.plan([tiny])
+        reps = plan.reps_on(tiny.name)
+        assert len(reps) >= 1
+        assert all(rep.total_bytes(KAGGLE) <= tiny.total_memory for rep in reps)
+
+    def test_empty_hardware_rejected(self, planner):
+        with pytest.raises(ValueError):
+            planner.plan([])
+
+    def test_build_paths_profiles_everything(self, planner):
+        plan = planner.plan(hw1_devices())
+        paths = plan.build_paths(encoder_hit_rate=0.5, decoder_speedup=2.0)
+        n_mappings = sum(len(reps) for reps in plan.mappings.values())
+        assert len(paths) == n_mappings
+        for path in paths:
+            assert path.latency(128) > 0
+            if path.rep.uses_dhe:
+                assert path.encoder_hit_rate == 0.5
+            else:
+                assert path.encoder_hit_rate == 0.0
+
+
+class TestPlannerSpace:
+    def test_space_has_small_tables(self):
+        space = default_planner_space(KAGGLE)
+        dims = {rep.embedding_dim for rep in space if rep.kind == "table"}
+        assert 4 in dims and 16 in dims
+
+    def test_terabyte_space(self):
+        space = default_planner_space(TERABYTE)
+        assert any(rep.kind == "hybrid" for rep in space)

@@ -1,0 +1,132 @@
+import numpy as np
+import pytest
+
+from repro.core.online import (
+    GreedyLatencyScheduler,
+    MultiPathScheduler,
+    StaticScheduler,
+    TableSwitchScheduler,
+)
+from repro.core.paths import ExecutionPath, PathProfile
+from repro.core.representations import RepresentationConfig
+from repro.hardware.catalog import CPU_BROADWELL, GPU_V100
+
+
+def fake_path(kind, device, accuracy, base_latency, per_sample=1e-6, label=""):
+    """A path with an affine latency profile for deterministic tests."""
+    sizes = np.unique(np.geomspace(1, 4096, 25).astype(int))
+    lats = base_latency + per_sample * sizes
+    rep_kwargs = {"k": 8, "dnn": 8, "h": 1} if kind != "table" else {}
+    if kind == "hybrid":
+        rep_kwargs.update({"table_dim": 8, "dhe_dim": 8})
+        rep = RepresentationConfig("hybrid", 16, **rep_kwargs)
+    elif kind == "select":
+        rep = RepresentationConfig("select", 16, n_dhe_features=1, **rep_kwargs)
+    else:
+        rep = RepresentationConfig(kind, 16, **rep_kwargs)
+    return ExecutionPath(
+        rep=rep,
+        device=device,
+        accuracy=accuracy,
+        profile=PathProfile(sizes=sizes, latencies=lats),
+        label=label or f"{kind}({device.name})",
+    )
+
+
+@pytest.fixture
+def paths():
+    return [
+        fake_path("table", CPU_BROADWELL, 78.79, 1e-3, label="TBL-CPU"),
+        fake_path("table", GPU_V100, 78.79, 2e-3, label="TBL-GPU"),
+        fake_path("dhe", GPU_V100, 78.94, 5e-3, label="DHE-GPU"),
+        fake_path("hybrid", GPU_V100, 78.98, 8e-3, label="HYB-GPU"),
+    ]
+
+
+def idle(paths):
+    return {p.device.name: [0.0] * p.device.concurrency for p in paths}
+
+
+class TestMultiPathScheduler:
+    def test_prefers_hybrid_when_feasible(self, paths):
+        sched = MultiPathScheduler(paths)
+        decision = sched.select(100, sla_s=0.020, now=0.0, free_at=idle(paths))
+        assert decision.path.kind == "hybrid"
+
+    def test_falls_to_dhe_under_tighter_sla(self, paths):
+        sched = MultiPathScheduler(paths)
+        decision = sched.select(100, sla_s=0.006, now=0.0, free_at=idle(paths))
+        assert decision.path.kind == "dhe"
+
+    def test_falls_to_table_under_strict_sla(self, paths):
+        sched = MultiPathScheduler(paths)
+        decision = sched.select(100, sla_s=0.002, now=0.0, free_at=idle(paths))
+        assert decision.path.kind == "table"
+        assert decision.path.label == "TBL-CPU"
+
+    def test_defaults_to_fastest_table_when_nothing_fits(self, paths):
+        sched = MultiPathScheduler(paths)
+        decision = sched.select(100, sla_s=1e-6, now=0.0, free_at=idle(paths))
+        assert decision.path.label == "TBL-CPU"
+
+    def test_queue_awareness_reroutes(self, paths):
+        """A backed-up GPU makes the hybrid path infeasible."""
+        sched = MultiPathScheduler(paths)
+        free = idle(paths)
+        free["gpu-v100"] = [0.5]  # busy for 500 ms
+        decision = sched.select(100, sla_s=0.020, now=0.0, free_at=free)
+        assert decision.path.label == "TBL-CPU"
+        assert decision.wait_s == 0.0
+
+    def test_wait_time_computed_from_queue(self, paths):
+        sched = MultiPathScheduler(paths)
+        free = idle(paths)
+        free["cpu-broadwell"] = [0.005]
+        decision = sched.select(100, sla_s=1e-6, now=0.0, free_at=free)
+        # Falls back to earliest-finish table: GPU (wait 0 + 2ms) beats
+        # CPU (wait 5ms + 1ms).
+        assert decision.path.label == "TBL-GPU"
+
+    def test_empty_paths_rejected(self):
+        with pytest.raises(ValueError):
+            MultiPathScheduler([])
+
+
+class TestStaticScheduler:
+    def test_always_same_path(self, paths):
+        sched = StaticScheduler([paths[2]])
+        for size in (1, 100, 4000):
+            assert sched.select(size, 0.010, 0.0, idle(paths)).path is paths[2]
+
+    def test_requires_exactly_one(self, paths):
+        with pytest.raises(ValueError):
+            StaticScheduler(paths[:2])
+
+    def test_name_includes_label(self, paths):
+        assert "DHE-GPU" in StaticScheduler([paths[2]]).name
+
+
+class TestTableSwitchScheduler:
+    def test_filters_to_tables(self, paths):
+        sched = TableSwitchScheduler(paths)
+        assert all(p.kind == "table" for p in sched.paths)
+
+    def test_picks_lower_service_latency(self, paths):
+        sched = TableSwitchScheduler(paths)
+        decision = sched.select(100, 0.010, 0.0, idle(paths))
+        assert decision.path.label == "TBL-CPU"
+
+    def test_queue_blind(self, paths):
+        """Unlike MP-Rec, switching ignores queue state (Sec 6.2 I3)."""
+        sched = TableSwitchScheduler(paths)
+        free = idle(paths)
+        free["cpu-broadwell"] = [10.0]  # deeply backed up
+        decision = sched.select(100, 0.010, 0.0, free)
+        assert decision.path.label == "TBL-CPU"  # still picked
+
+
+class TestGreedyScheduler:
+    def test_ignores_accuracy(self, paths):
+        sched = GreedyLatencyScheduler(paths)
+        decision = sched.select(100, 1.0, 0.0, idle(paths))
+        assert decision.path.label == "TBL-CPU"

@@ -1,0 +1,95 @@
+import pytest
+
+from repro.core.representations import RepresentationConfig, paper_configs
+from repro.models.configs import KAGGLE, TERABYTE
+from repro.quality.estimator import QualityEstimator
+
+
+class TestAnchors:
+    @pytest.mark.parametrize("dataset,table,dhe,hybrid", [
+        ("kaggle", 78.79, 78.94, 78.98),
+        ("terabyte", 80.81, 80.99, 81.03),
+    ])
+    def test_paper_table2_reproduced(self, dataset, table, dhe, hybrid):
+        est = QualityEstimator(dataset)
+        model = KAGGLE if dataset == "kaggle" else TERABYTE
+        cfgs = paper_configs(model)
+        assert abs(est.accuracy(cfgs["table"]) - table) < 0.01
+        assert abs(est.accuracy(cfgs["dhe"]) - dhe) < 0.02
+        assert abs(est.accuracy(cfgs["hybrid"]) - hybrid) < 0.02
+
+    def test_hw2_small_dim_table(self):
+        # Paper Table 4: dim-4 Kaggle table reaches 78.721%.
+        est = QualityEstimator("kaggle")
+        assert abs(est.table_accuracy(4) - 78.721) < 0.005
+
+    def test_internal_hybrid_gain(self):
+        # Production case study: hybrid improves accuracy by ~0.014%.
+        est = QualityEstimator("internal")
+        gain = est.anchors.hybrid_accuracy - est.anchors.table_accuracy
+        assert abs(gain - 0.014) < 0.002
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            QualityEstimator("movielens")
+
+
+class TestShapes:
+    def test_accuracy_increases_with_k(self):
+        est = QualityEstimator("kaggle")
+        accs = [
+            est.accuracy(RepresentationConfig("dhe", 16, k=k, dnn=128, h=2))
+            for k in (2, 32, 512, 2048)
+        ]
+        assert accs == sorted(accs)
+        assert accs[-1] - accs[0] > 0.3  # k matters a lot (Fig 4)
+
+    def test_decoder_shape_second_order(self):
+        # Same k, different decoder: differences must be small (Fig 4).
+        est = QualityEstimator("kaggle")
+        accs = [
+            est.accuracy(RepresentationConfig("dhe", 16, k=1024, dnn=d, h=h))
+            for d, h in ((64, 1), (128, 2), (480, 4))
+        ]
+        assert max(accs) - min(accs) < 0.03
+
+    def test_tiny_k_below_table(self):
+        est = QualityEstimator("kaggle")
+        tiny = est.accuracy(RepresentationConfig("dhe", 16, k=2, dnn=64, h=1))
+        assert tiny < est.anchors.table_accuracy
+
+    def test_hybrid_beats_both(self):
+        est = QualityEstimator("kaggle")
+        cfgs = paper_configs(KAGGLE)
+        hybrid = est.accuracy(cfgs["hybrid"])
+        assert hybrid > est.accuracy(cfgs["table"])
+        assert hybrid > est.accuracy(cfgs["dhe"])
+
+    def test_select_between_table_and_dhe(self):
+        est = QualityEstimator("kaggle")
+        cfgs = paper_configs(KAGGLE)
+        sel = est.accuracy(cfgs["select"])
+        assert est.anchors.table_accuracy <= sel <= est.accuracy(cfgs["dhe"])
+
+    def test_table_dim_monotone(self):
+        est = QualityEstimator("kaggle")
+        accs = [est.table_accuracy(d) for d in (2, 4, 8, 16, 32)]
+        assert accs == sorted(accs)
+
+    def test_dim_above_reference_saturates(self):
+        est = QualityEstimator("kaggle")
+        assert est.table_accuracy(256) - est.table_accuracy(16) < 0.05
+
+    def test_best_selects_max(self):
+        est = QualityEstimator("kaggle")
+        cfgs = list(paper_configs(KAGGLE).values())
+        best = est.best(cfgs)
+        assert est.accuracy(best) == max(est.accuracy(c) for c in cfgs)
+
+    def test_best_empty_rejected(self):
+        with pytest.raises(ValueError):
+            QualityEstimator("kaggle").best([])
+
+    def test_table_accuracy_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            QualityEstimator("kaggle").table_accuracy(0)

@@ -1,0 +1,67 @@
+import numpy as np
+import pytest
+
+from repro.quality.fitting import FittedCurve, fit_k_curve, fit_quality_residual
+
+
+class TestFittedCurve:
+    CURVE = FittedCurve(ceiling=79.0, span=0.8, k0=256.0)
+
+    def test_monotone_increasing(self):
+        ks = [2, 16, 128, 1024, 4096]
+        accs = [self.CURVE.accuracy(k) for k in ks]
+        assert accs == sorted(accs)
+
+    def test_limits(self):
+        assert self.CURVE.accuracy(1e9) == pytest.approx(79.0)
+        assert self.CURVE.floor == pytest.approx(78.2)
+
+    def test_k_for_accuracy_inverts(self):
+        target = self.CURVE.accuracy(512.0)
+        assert self.CURVE.k_for_accuracy(target) == pytest.approx(512.0)
+
+    def test_k_for_unreachable(self):
+        assert self.CURVE.k_for_accuracy(80.0) == float("inf")
+        assert self.CURVE.k_for_accuracy(70.0) == 0.0
+
+
+class TestFitKCurve:
+    def test_recovers_known_curve(self):
+        truth = FittedCurve(ceiling=78.94, span=0.75, k0=256.0)
+        ks = np.array([2, 8, 32, 128, 512, 1024, 2048])
+        accs = np.array([truth.accuracy(k) for k in ks])
+        fitted = fit_k_curve(ks, accs)
+        assert fitted.ceiling == pytest.approx(truth.ceiling, abs=0.01)
+        assert fitted.k0 == pytest.approx(truth.k0, rel=0.1)
+
+    def test_robust_to_noise(self):
+        rng = np.random.default_rng(0)
+        truth = FittedCurve(ceiling=80.99, span=0.8, k0=300.0)
+        ks = np.array([2, 8, 32, 128, 512, 1024, 2048, 4096])
+        accs = np.array([truth.accuracy(k) for k in ks]) + rng.normal(0, 0.01, ks.size)
+        fitted = fit_k_curve(ks, accs)
+        residual = fit_quality_residual(fitted, ks, accs)
+        assert residual < 0.03
+        assert abs(fitted.ceiling - truth.ceiling) < 0.05
+
+    def test_fits_estimator_generated_sweep(self):
+        """The shipped estimator's k-curve is itself fittable (consistency)."""
+        from repro.core.representations import RepresentationConfig
+        from repro.quality.estimator import QualityEstimator
+
+        est = QualityEstimator("kaggle")
+        ks = np.array([2, 8, 32, 128, 512, 1024, 2048])
+        accs = np.array([
+            est.accuracy(RepresentationConfig("dhe", 16, k=int(k), dnn=128, h=2))
+            for k in ks
+        ])
+        fitted = fit_k_curve(ks, accs)
+        assert fit_quality_residual(fitted, ks, accs) < 0.02
+
+    def test_requires_enough_points(self):
+        with pytest.raises(ValueError):
+            fit_k_curve(np.array([1, 2]), np.array([1.0, 2.0]))
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            fit_k_curve(np.array([0, 1, 2]), np.array([1.0, 2.0, 3.0]))

@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.data.queries import (
+    MAX_QUERY_SIZE,
+    arrival_times,
+    generate_query_set,
+    lognormal_sizes,
+)
+
+
+class TestLognormalSizes:
+    def test_mean_close_to_target(self):
+        sizes = lognormal_sizes(50_000, mean_size=128.0)
+        assert abs(sizes.mean() - 128) < 10
+
+    def test_bounds(self):
+        sizes = lognormal_sizes(10_000, mean_size=128.0)
+        assert sizes.min() >= 1
+        assert sizes.max() <= MAX_QUERY_SIZE
+
+    def test_right_skew(self):
+        sizes = lognormal_sizes(50_000, mean_size=128.0)
+        assert np.median(sizes) < sizes.mean()
+
+    def test_small_mean(self):
+        sizes = lognormal_sizes(10_000, mean_size=2.0)
+        assert 1 <= sizes.mean() < 5
+
+    def test_rejects_sub_one_mean(self):
+        with pytest.raises(ValueError):
+            lognormal_sizes(10, mean_size=0.5)
+
+
+class TestArrivalTimes:
+    def test_poisson_rate(self):
+        times = arrival_times(100_000, qps=1000.0)
+        assert abs(times[-1] - 100.0) < 3.0  # ~100 s for 100K @ 1 kQPS
+
+    def test_monotone(self):
+        times = arrival_times(1000, qps=500.0)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_uniform_process(self):
+        times = arrival_times(10, qps=10.0, process="uniform")
+        np.testing.assert_allclose(np.diff(times), 0.1)
+
+    def test_rejects_bad_qps(self):
+        with pytest.raises(ValueError):
+            arrival_times(10, qps=0.0)
+
+    def test_unknown_process(self):
+        with pytest.raises(ValueError):
+            arrival_times(10, qps=10.0, process="bursty")
+
+    def test_diurnal_mean_rate(self):
+        times = arrival_times(30_000, qps=1000.0, process="diurnal")
+        achieved = 30_000 / times[-1]
+        # Partial trailing periods bias the estimate slightly.
+        assert abs(achieved - 1000.0) / 1000.0 < 0.15
+
+    def test_diurnal_rate_oscillates(self):
+        """Windows of a diurnal process show materially different rates."""
+        times = arrival_times(60_000, qps=1000.0, process="diurnal")
+        counts, _ = np.histogram(times, bins=np.arange(0.0, times[-1], 2.5))
+        assert counts.max() > 1.3 * max(1, counts.min())
+
+    def test_diurnal_monotone(self):
+        times = arrival_times(500, qps=200.0, process="diurnal")
+        assert np.all(np.diff(times) >= 0)
+
+
+class TestGenerateQuerySet:
+    def test_paper_default_shape(self):
+        qs = generate_query_set(n_queries=1000, mean_size=128, qps=1000)
+        assert len(qs) == 1000
+        assert 100 < qs.mean_size() < 160
+        assert qs.total_samples == qs.sizes.sum()
+
+    def test_queries_sorted_by_index(self):
+        qs = generate_query_set(n_queries=50)
+        assert [q.index for q in qs] == list(range(50))
+
+    def test_deterministic_given_seed(self):
+        a = generate_query_set(n_queries=100, seed=5)
+        b = generate_query_set(n_queries=100, seed=5)
+        assert [q.size for q in a] == [q.size for q in b]

@@ -1,0 +1,126 @@
+import numpy as np
+import pytest
+
+from repro.core.representations import (
+    RepresentationConfig,
+    paper_configs,
+    representation_space,
+)
+from repro.models.configs import KAGGLE, TERABYTE
+
+
+class TestValidation:
+    def test_table_minimal(self):
+        rep = RepresentationConfig("table", 16)
+        assert rep.uses_tables and not rep.uses_dhe
+
+    def test_dhe_requires_stack_params(self):
+        with pytest.raises(ValueError):
+            RepresentationConfig("dhe", 16)
+
+    def test_hybrid_dim_consistency(self):
+        with pytest.raises(ValueError, match="table_dim \\+ dhe_dim"):
+            RepresentationConfig(
+                "hybrid", 16, k=8, dnn=8, h=1, table_dim=8, dhe_dim=4
+            )
+
+    def test_select_requires_features(self):
+        with pytest.raises(ValueError):
+            RepresentationConfig("select", 16, k=8, dnn=8, h=1)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            RepresentationConfig("robe", 16)
+
+
+class TestCapacity:
+    def test_paper_table3_kaggle(self):
+        cfgs = paper_configs(KAGGLE)
+        gb = {n: cfgs[n].embedding_bytes(KAGGLE) / 1e9 for n in cfgs}
+        assert abs(gb["table"] - 2.16) < 0.02
+        assert abs(gb["dhe"] - 0.126) < 0.01
+        assert abs(gb["hybrid"] - 2.29) < 0.02
+        # MP-Rec stores table + dhe + hybrid: 4.58 GB.
+        total = gb["table"] + gb["dhe"] + gb["hybrid"]
+        assert abs(total - 4.58) < 0.04
+
+    def test_paper_table3_terabyte(self):
+        cfgs = paper_configs(TERABYTE)
+        gb = {n: cfgs[n].embedding_bytes(TERABYTE) / 1e9 for n in cfgs}
+        assert abs(gb["table"] - 12.58) < 0.05
+        assert abs(gb["dhe"] - 0.123) < 0.02
+        assert abs(gb["hybrid"] - 12.70) < 0.06
+        total = gb["table"] + gb["dhe"] + gb["hybrid"]
+        assert abs(total - 25.41) < 0.1
+
+    def test_dhe_compression_ratio_vs_terabyte(self):
+        # Paper Sec 3.2 / Fig 4: DHE compresses Terabyte by ~100-334x.
+        cfgs = paper_configs(TERABYTE)
+        ratio = cfgs["table"].embedding_bytes(TERABYTE) / cfgs[
+            "dhe"
+        ].embedding_bytes(TERABYTE)
+        assert ratio > 90
+
+    def test_select_between_table_and_dhe(self):
+        cfgs = paper_configs(KAGGLE)
+        sel = cfgs["select"].embedding_bytes(KAGGLE)
+        assert cfgs["dhe"].embedding_bytes(KAGGLE) < sel
+        assert sel < cfgs["table"].embedding_bytes(KAGGLE)
+
+    def test_dense_bytes_positive_and_small(self):
+        cfgs = paper_configs(KAGGLE)
+        dense = cfgs["table"].dense_bytes(KAGGLE)
+        assert 0 < dense < 50e6
+
+    def test_table_only_bytes(self):
+        cfgs = paper_configs(KAGGLE)
+        assert cfgs["dhe"].table_only_bytes(KAGGLE) == 0
+        assert cfgs["hybrid"].table_only_bytes(KAGGLE) == cfgs[
+            "table"
+        ].embedding_bytes(KAGGLE)
+        sel = cfgs["select"]
+        assert 0 < sel.table_only_bytes(KAGGLE) < cfgs["table"].embedding_bytes(KAGGLE)
+
+
+class TestFlops:
+    def test_ordering(self):
+        cfgs = paper_configs(KAGGLE)
+        flops = {n: cfgs[n].flops_per_sample(KAGGLE) for n in cfgs}
+        assert flops["table"] < flops["select"] < flops["dhe"]
+        # Hybrid pays the table's gather plus a DHE stack whose decoder's
+        # final layer is half-width: its FLOPs land within 10% of DHE's.
+        assert flops["hybrid"] > flops["table"]
+        assert abs(flops["hybrid"] - flops["dhe"]) / flops["dhe"] < 0.10
+
+    def test_dhe_vs_table_orders_of_magnitude(self):
+        # Paper Fig 3b: DHE/hybrid have 10-100x the FLOPs of tables.
+        cfgs = paper_configs(KAGGLE)
+        ratio = cfgs["dhe"].flops_per_sample(KAGGLE) / cfgs["table"].flops_per_sample(
+            KAGGLE
+        )
+        assert ratio > 10
+
+    def test_decoder_flops_zero_for_table(self):
+        assert RepresentationConfig("table", 16).decoder_flops_per_lookup() == 0
+
+
+class TestSpaceAndHelpers:
+    def test_space_covers_all_kinds(self):
+        space = representation_space(KAGGLE)
+        kinds = {rep.kind for rep in space}
+        assert kinds == {"table", "dhe", "hybrid"}
+        assert len(space) > 50
+
+    def test_with_dim_table(self):
+        rep = RepresentationConfig("table", 16).with_dim(4)
+        assert rep.embedding_dim == 4
+
+    def test_with_dim_hybrid_preserves_split(self):
+        rep = RepresentationConfig(
+            "hybrid", 24, k=8, dnn=8, h=1, table_dim=16, dhe_dim=8
+        ).with_dim(12)
+        assert rep.table_dim + rep.dhe_dim == 12
+
+    def test_display_label(self):
+        rep = RepresentationConfig("table", 16, label="foo")
+        assert rep.display == "foo"

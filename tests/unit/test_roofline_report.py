@@ -1,0 +1,85 @@
+import pytest
+
+from repro.analysis.report import bar_chart, table
+from repro.core.representations import paper_configs
+from repro.hardware.catalog import CPU_BROADWELL, GPU_V100, IPU_GC200, TPU_V3_CHIP
+from repro.hardware.roofline import (
+    classify,
+    embedding_traffic_bytes,
+    operational_intensity,
+    ridge_point,
+)
+from repro.models.configs import KAGGLE
+
+CFGS = paper_configs(KAGGLE)
+
+
+class TestRoofline:
+    def test_table_intensity_zero(self):
+        assert operational_intensity(CFGS["table"], KAGGLE) == 0.0
+
+    def test_dhe_intensity_high(self):
+        assert operational_intensity(CFGS["dhe"], KAGGLE) > 100
+
+    def test_hybrid_between(self):
+        hybrid = operational_intensity(CFGS["hybrid"], KAGGLE)
+        assert 0 < hybrid
+        assert hybrid <= operational_intensity(CFGS["dhe"], KAGGLE) * 1.2
+
+    def test_table_memory_bound_everywhere(self):
+        """The paper's premise: tables stress memory on every platform."""
+        for device in (CPU_BROADWELL, GPU_V100, TPU_V3_CHIP, IPU_GC200):
+            point = classify(CFGS["table"], KAGGLE, device)
+            assert point.bound == "memory"
+
+    def test_dhe_compute_bound_on_cpu(self):
+        point = classify(CFGS["dhe"], KAGGLE, CPU_BROADWELL)
+        assert point.bound == "compute"
+
+    def test_ridge_point_ordering(self):
+        """More compute per byte of bandwidth -> ridge further right."""
+        assert ridge_point(CPU_BROADWELL) < ridge_point(GPU_V100)
+
+    def test_attainable_capped_by_roof(self):
+        for rep_name in ("table", "dhe", "hybrid"):
+            point = classify(CFGS[rep_name], KAGGLE, GPU_V100)
+            roof = GPU_V100.peak_flops * GPU_V100.mlp_efficiency
+            assert 0 <= point.attainable_flops <= roof
+
+    def test_traffic_bytes_positive_for_tables(self):
+        assert embedding_traffic_bytes(CFGS["table"], KAGGLE) == 26 * 16 * 4
+
+    def test_select_counts_partial_features(self):
+        sel = CFGS["select"]
+        traffic = embedding_traffic_bytes(sel, KAGGLE)
+        assert traffic > 23 * 16 * 4  # 23 table features + encoder stream
+
+
+class TestReportHelpers:
+    def test_bar_chart_scales_to_width(self):
+        lines = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_bar_chart_reference_ratios(self):
+        lines = bar_chart({"base": 2.0, "fast": 4.0}, reference="base")
+        assert "(2.00x)" in lines[1]
+
+    def test_bar_chart_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_bar_chart_empty(self):
+        assert bar_chart({}) == []
+
+    def test_table_alignment(self):
+        lines = table([
+            {"name": "x", "value": 1.5},
+            {"name": "longer", "value": 22.0},
+        ])
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:2])
+
+    def test_table_empty(self):
+        assert table([]) == []

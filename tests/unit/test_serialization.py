@@ -1,0 +1,67 @@
+import numpy as np
+import pytest
+
+from repro.models.dlrm import build_dlrm
+from repro.nn import MLP
+from repro.nn.serialization import load_model, load_state_dict, save_model, state_dict
+
+
+class TestStateDict:
+    def test_contains_all_parameters(self, rng):
+        mlp = MLP([4, 8, 2], rng)
+        state = state_dict(mlp)
+        assert len(state) == len(mlp.parameters())
+
+    def test_load_restores_values(self, rng):
+        a = MLP([4, 8, 2], rng)
+        b = MLP([4, 8, 2], np.random.default_rng(99))
+        load_state_dict(b, state_dict(a))
+        x = rng.standard_normal((3, 4))
+        np.testing.assert_array_equal(a(x), b(x))
+
+    def test_missing_key_rejected(self, rng):
+        mlp = MLP([4, 8, 2], rng)
+        state = state_dict(mlp)
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError, match="missing"):
+            load_state_dict(mlp, state)
+
+    def test_unexpected_key_rejected(self, rng):
+        mlp = MLP([4, 8, 2], rng)
+        state = state_dict(mlp)
+        state["ghost"] = np.zeros(3)
+        with pytest.raises(KeyError, match="unexpected"):
+            load_state_dict(mlp, state)
+
+    def test_shape_mismatch_rejected(self, rng):
+        mlp = MLP([4, 8, 2], rng)
+        state = state_dict(mlp)
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_state_dict(mlp, state)
+
+
+class TestFileRoundtrip:
+    def test_dlrm_roundtrip(self, tiny_config, rng, tmp_path):
+        model = build_dlrm(tiny_config, "hybrid", rng, k=8, dnn=8, h=1)
+        path = save_model(model, tmp_path / "ckpt.npz")
+        fresh = build_dlrm(
+            tiny_config, "hybrid", np.random.default_rng(123), k=8, dnn=8, h=1
+        )
+        dense = rng.standard_normal((4, tiny_config.n_dense))
+        sparse = np.stack(
+            [rng.integers(0, rows, 4) for rows in tiny_config.cardinalities],
+            axis=1,
+        )
+        before = fresh(dense, sparse)
+        load_model(fresh, path)
+        after = fresh(dense, sparse)
+        assert not np.allclose(before, after)
+        np.testing.assert_array_equal(after, model(dense, sparse))
+
+    def test_suffix_appended(self, rng, tmp_path):
+        mlp = MLP([2, 2], rng)
+        path = save_model(mlp, tmp_path / "model")
+        assert path.suffix == ".npz"
+        assert path.exists()

@@ -1,0 +1,59 @@
+import numpy as np
+import pytest
+
+from repro.analysis.sharding import greedy_shard, round_robin_shard
+from repro.models.configs import KAGGLE, TERABYTE
+
+
+class TestGreedyShard:
+    def test_every_feature_assigned(self):
+        plan = greedy_shard(KAGGLE.cardinalities, 16, 4)
+        assert all(slices for slices in plan.assignment)
+        total_rows = sum(
+            rows for slices in plan.assignment for _, rows in slices
+        )
+        assert total_rows == sum(KAGGLE.cardinalities)
+
+    def test_balances_better_than_round_robin(self):
+        greedy = greedy_shard(KAGGLE.cardinalities, 16, 8)
+        naive = round_robin_shard(KAGGLE.cardinalities, 16, 8)
+        assert greedy.imbalance <= naive.imbalance
+
+    def test_imbalance_reasonable(self):
+        plan = greedy_shard(TERABYTE.cardinalities, 64, 8)
+        # Terabyte has a few ~10M-row tables; LPT still keeps max/mean < 2.
+        assert plan.imbalance < 2.0
+
+    def test_single_node_trivial(self):
+        plan = greedy_shard(KAGGLE.cardinalities, 16, 1)
+        assert plan.imbalance == 1.0
+        assert plan.lookup_fanout() == 1
+
+    def test_node_bytes_sum_to_model_size(self):
+        plan = greedy_shard(KAGGLE.cardinalities, 16, 4)
+        assert plan.node_bytes().sum() == sum(KAGGLE.cardinalities) * 16 * 4
+
+    def test_row_wise_split_under_capacity_limit(self):
+        cards = [100, 10_000_000, 50]
+        capacity = 10_000_000 * 16 * 4 // 4  # the big table cannot fit whole
+        plan = greedy_shard(cards, 16, 4, node_capacity_bytes=capacity)
+        big_slices = plan.assignment[1]
+        assert len(big_slices) == 4  # split across all nodes
+        assert sum(rows for _, rows in big_slices) == 10_000_000
+        for node, _ in big_slices:
+            assert 0 <= node < 4
+
+    def test_fanout_bounded_by_nodes(self):
+        plan = greedy_shard(KAGGLE.cardinalities, 16, 4)
+        assert 1 <= plan.lookup_fanout() <= 4
+
+    def test_alltoall_bytes(self):
+        plan = greedy_shard(KAGGLE.cardinalities, 16, 8)
+        per_sample = plan.alltoall_bytes_per_sample()
+        assert 0 < per_sample <= 26 * 16 * 4
+
+    def test_rejects_bad_nodes(self):
+        with pytest.raises(ValueError):
+            greedy_shard([10], 8, 0)
+        with pytest.raises(ValueError):
+            round_robin_shard([10], 8, 0)

@@ -1,0 +1,126 @@
+import pytest
+
+from repro.core.representations import paper_configs
+from repro.core.splitting import split_latency, split_query_even, split_query_tuned
+from repro.hardware.catalog import CPU_BROADWELL, GPU_V100
+from repro.hardware.latency import path_latency
+from repro.models.configs import KAGGLE
+
+CFGS = paper_configs(KAGGLE)
+
+
+class TestSplitLatency:
+    def test_all_on_first_matches_single_device(self):
+        outcome = split_latency(
+            CFGS["table"], KAGGLE, CPU_BROADWELL, GPU_V100, 512, 1.0
+        )
+        direct = path_latency(CFGS["table"], KAGGLE, CPU_BROADWELL, 512)
+        assert outcome.latency_s == pytest.approx(direct)
+        assert outcome.second_latency_s == 0.0
+
+    def test_concurrent_halves_max(self):
+        outcome = split_latency(
+            CFGS["table"], KAGGLE, CPU_BROADWELL, GPU_V100, 1000, 0.5
+        )
+        assert outcome.latency_s == max(
+            outcome.first_latency_s, outcome.second_latency_s
+        )
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            split_latency(CFGS["table"], KAGGLE, CPU_BROADWELL, GPU_V100, 100, 1.5)
+
+
+class TestPaperSection65:
+    def test_even_split_helps_table_vs_cpu_only(self):
+        """Fig 14: for tables, splitting beats the CPU-side baseline (it
+        offloads half the samples to the GPU)."""
+        n = 4096
+        split = split_query_even(CFGS["table"], KAGGLE, CPU_BROADWELL, GPU_V100, n)
+        cpu_only = path_latency(CFGS["table"], KAGGLE, CPU_BROADWELL, n)
+        assert split.latency_s < cpu_only
+
+    def test_tuned_table_split_beats_even(self):
+        """With asymmetric devices the tuned ratio clearly beats 50/50."""
+        n = 4096
+        even = split_query_even(CFGS["table"], KAGGLE, CPU_BROADWELL, GPU_V100, n)
+        tuned = split_query_tuned(CFGS["table"], KAGGLE, CPU_BROADWELL, GPU_V100, n)
+        assert tuned.latency_s < even.latency_s * 0.8
+
+    def test_even_split_hurts_dhe(self):
+        """Fig 14: an even split forces CPU execution of the compute stack,
+        making the CPU half the critical path."""
+        n = 1024
+        split = split_query_even(CFGS["dhe"], KAGGLE, CPU_BROADWELL, GPU_V100, n)
+        gpu_only = path_latency(CFGS["dhe"], KAGGLE, GPU_V100, n)
+        assert split.latency_s > gpu_only
+        assert split.first_latency_s > split.second_latency_s  # CPU binds
+
+    def test_tuned_split_never_worse_than_even(self):
+        for rep_name in ("table", "dhe", "hybrid"):
+            tuned = split_query_tuned(
+                CFGS[rep_name], KAGGLE, CPU_BROADWELL, GPU_V100, 2048
+            )
+            even = split_query_even(
+                CFGS[rep_name], KAGGLE, CPU_BROADWELL, GPU_V100, 2048
+            )
+            assert tuned.latency_s <= even.latency_s + 1e-12
+
+    def test_tuned_split_for_dhe_avoids_cpu(self):
+        tuned = split_query_tuned(CFGS["dhe"], KAGGLE, CPU_BROADWELL, GPU_V100, 2048)
+        assert tuned.ratio_on_first < 0.2  # nearly everything on the GPU
+
+    def test_tuned_grid_validation(self):
+        with pytest.raises(ValueError):
+            split_query_tuned(CFGS["table"], KAGGLE, CPU_BROADWELL, GPU_V100, 10, grid=1)
+
+
+class TestSplitServing:
+    def scenario(self, n=50, qps=500.0):
+        from repro.serving.workload import ServingScenario
+
+        return ServingScenario.paper_default(n_queries=n, qps=qps, seed=9)
+
+    def test_serves_every_query(self):
+        from repro.core.splitting import simulate_split_serving
+
+        scenario = self.scenario()
+        result = simulate_split_serving(
+            CFGS["table"], KAGGLE, CPU_BROADWELL, GPU_V100, scenario, 78.79
+        )
+        assert len(result.records) == len(scenario.queries)
+        assert result.correct_prediction_throughput > 0
+
+    def test_split_table_beats_cpu_only_serving(self):
+        from repro.core.online import StaticScheduler
+        from repro.core.profiler import make_path
+        from repro.core.splitting import simulate_split_serving
+        from repro.serving.simulator import ServingSimulator
+
+        scenario = self.scenario(n=200, qps=1000.0)
+        split = simulate_split_serving(
+            CFGS["table"], KAGGLE, CPU_BROADWELL, GPU_V100, scenario, 78.79
+        )
+        cpu_path = make_path(CFGS["table"], KAGGLE, CPU_BROADWELL, 78.79)
+        cpu_only = ServingSimulator(
+            StaticScheduler([cpu_path]), track_energy=False
+        ).run(scenario)
+        assert (
+            split.correct_prediction_throughput
+            > cpu_only.correct_prediction_throughput
+        )
+
+    def test_devices_occupied_concurrently(self):
+        """Both halves start together: a query's finish equals the max of
+        the device busy intervals, not their sum."""
+        from repro.core.splitting import simulate_split_serving, split_latency
+
+        scenario = self.scenario(n=1)
+        query = scenario.queries.queries[0]
+        result = simulate_split_serving(
+            CFGS["table"], KAGGLE, CPU_BROADWELL, GPU_V100, scenario, 78.79
+        )
+        outcome = split_latency(
+            CFGS["table"], KAGGLE, CPU_BROADWELL, GPU_V100, query.size, 0.5
+        )
+        assert result.records[0].latency_s == pytest.approx(outcome.latency_s)

@@ -1,0 +1,63 @@
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticCTRDataset, make_dataset
+from repro.models.configs import KAGGLE_MINI
+
+
+class TestSyntheticCTRDataset:
+    def test_batch_shapes(self, small_config):
+        ds = SyntheticCTRDataset(small_config, seed=0)
+        batch = ds.sample_batch(32)
+        assert batch.dense.shape == (32, small_config.n_dense)
+        assert batch.sparse.shape == (32, small_config.n_sparse)
+        assert batch.labels.shape == (32,)
+        assert len(batch) == 32
+
+    def test_ids_within_cardinalities(self, small_config):
+        ds = SyntheticCTRDataset(small_config, seed=0)
+        batch = ds.sample_batch(1000)
+        for f, rows in enumerate(small_config.cardinalities):
+            assert batch.sparse[:, f].max() < rows
+            assert batch.sparse[:, f].min() >= 0
+
+    def test_labels_binary(self, small_config):
+        ds = SyntheticCTRDataset(small_config, seed=0)
+        labels = ds.sample_batch(1000).labels
+        assert set(np.unique(labels)) <= {0.0, 1.0}
+
+    def test_ctr_in_plausible_range(self, small_config):
+        ds = SyntheticCTRDataset(small_config, seed=0)
+        ctr = ds.sample_batch(20_000).labels.mean()
+        assert 0.10 < ctr < 0.60
+
+    def test_labels_are_learnable_signal(self, small_config):
+        # The Bayes-optimal classifier must beat the base rate by a margin —
+        # otherwise no representation comparison is meaningful.
+        ds = SyntheticCTRDataset(small_config, seed=0)
+        bayes = ds.bayes_accuracy(20_000)
+        base_rate = max(
+            ds.sample_batch(20_000).labels.mean(),
+            1 - ds.sample_batch(20_000).labels.mean(),
+        )
+        assert bayes > base_rate + 0.03
+
+    def test_dense_features_nonnegative(self, small_config):
+        # log1p(lognormal) preprocessing keeps dense features >= 0.
+        ds = SyntheticCTRDataset(small_config, seed=0)
+        assert ds.sample_batch(100).dense.min() >= 0
+
+    def test_deterministic_given_seed(self, small_config):
+        a = SyntheticCTRDataset(small_config, seed=9).sample_batch(16)
+        b = SyntheticCTRDataset(small_config, seed=9).sample_batch(16)
+        np.testing.assert_array_equal(a.sparse, b.sparse)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_latent_capping_for_huge_tables(self):
+        ds = SyntheticCTRDataset(KAGGLE_MINI, seed=0, max_latent_rows=100)
+        batch = ds.sample_batch(64)  # must not allocate 10M-row latents
+        assert batch.sparse.shape == (64, 26)
+
+    def test_make_dataset_helper(self, small_config):
+        ds = make_dataset(small_config, seed=1, latent_dim=4)
+        assert ds.latent_dim == 4

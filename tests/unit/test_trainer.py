@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticCTRDataset
+from repro.models.dlrm import build_dlrm
+from repro.nn.optim import Adagrad
+from repro.training.trainer import Trainer
+
+
+@pytest.fixture
+def setup(small_config, rng):
+    model = build_dlrm(small_config, "table", rng)
+    dataset = SyntheticCTRDataset(small_config, seed=0)
+    return model, dataset
+
+
+class TestTrainer:
+    def test_loss_decreases(self, setup):
+        model, dataset = setup
+        trainer = Trainer(model, dataset, lr=0.1)
+        result = trainer.train(n_steps=60, batch_size=128, eval_samples=512)
+        early = np.mean(result.losses[:10])
+        late = np.mean(result.losses[-10:])
+        assert late < early
+
+    def test_learns_better_than_chance(self, setup):
+        model, dataset = setup
+        trainer = Trainer(model, dataset, lr=0.1)
+        result = trainer.train(n_steps=150, batch_size=128, eval_samples=4096)
+        assert result.eval_auc > 0.55
+
+    def test_custom_optimizer(self, setup):
+        model, dataset = setup
+        trainer = Trainer(
+            model, dataset, optimizer=Adagrad(model.parameters(), lr=0.05)
+        )
+        result = trainer.train(n_steps=30, batch_size=64, eval_samples=512)
+        assert np.isfinite(result.final_loss)
+
+    def test_evaluate_keys(self, setup):
+        model, dataset = setup
+        metrics = Trainer(model, dataset).evaluate(n_samples=600)
+        assert set(metrics) == {"accuracy", "auc", "logloss"}
+        assert 0 <= metrics["accuracy"] <= 1
+
+    def test_result_final_loss_empty(self):
+        from repro.training.trainer import TrainResult
+
+        assert np.isnan(TrainResult().final_loss)
+
+    def test_single_step_returns_scalar(self, setup):
+        model, dataset = setup
+        trainer = Trainer(model, dataset, lr=0.05)
+        loss = trainer.train_step(dataset.sample_batch(32))
+        assert np.isfinite(loss) and loss > 0

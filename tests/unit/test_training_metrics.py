@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.training.metrics import accuracy, log_loss, roc_auc
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([0.9, 0.1]), np.array([1.0, 0.0])) == 1.0
+
+    def test_all_wrong(self):
+        assert accuracy(np.array([0.9, 0.1]), np.array([0.0, 1.0])) == 0.0
+
+    def test_threshold(self):
+        probs = np.array([0.4, 0.6])
+        labels = np.array([1.0, 1.0])
+        assert accuracy(probs, labels, threshold=0.5) == 0.5
+        assert accuracy(probs, labels, threshold=0.3) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(3), np.zeros(4))
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        probs = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(probs, labels) == 1.0
+
+    def test_inverted_ranking(self):
+        probs = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(probs, labels) == 0.0
+
+    def test_random_is_half(self, rng):
+        probs = rng.random(20_000)
+        labels = (rng.random(20_000) > 0.5).astype(int)
+        assert abs(roc_auc(probs, labels) - 0.5) < 0.02
+
+    def test_ties_averaged(self):
+        probs = np.array([0.5, 0.5, 0.5, 0.5])
+        labels = np.array([0, 1, 0, 1])
+        assert roc_auc(probs, labels) == 0.5
+
+    def test_matches_slow_reference(self, rng):
+        probs = rng.random(200)
+        labels = (rng.random(200) > 0.7).astype(int)
+        pos = probs[labels == 1]
+        neg = probs[labels == 0]
+        wins = sum((p > n) + 0.5 * (p == n) for p in pos for n in neg)
+        reference = wins / (len(pos) * len(neg))
+        np.testing.assert_allclose(roc_auc(probs, labels), reference)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0.1, 0.9]), np.array([1, 1]))
+
+
+class TestLogLoss:
+    def test_perfect_near_zero(self):
+        loss = log_loss(np.array([0.999999, 1e-6]), np.array([1.0, 0.0]))
+        assert loss < 1e-4
+
+    def test_uncertain_is_log2(self):
+        loss = log_loss(np.full(10, 0.5), (np.arange(10) % 2).astype(float))
+        np.testing.assert_allclose(loss, np.log(2))
+
+    def test_clipping_avoids_inf(self):
+        loss = log_loss(np.array([0.0, 1.0]), np.array([1.0, 0.0]))
+        assert np.isfinite(loss)

@@ -1,0 +1,143 @@
+import numpy as np
+import pytest
+
+from repro.embeddings.ttrec import (
+    TTEmbedding,
+    factorize_evenly,
+    mixed_radix_digits,
+    tt_bytes,
+)
+from repro.models.configs import KAGGLE
+from repro.models.dlrm import build_dlrm
+from repro.nn.gradcheck import numerical_gradient
+
+
+class TestFactorization:
+    def test_product_covers_n(self):
+        for n in (1, 7, 100, 10_131_227):
+            factors = factorize_evenly(n, 3)
+            assert int(np.prod(factors)) >= n
+            assert len(factors) == 3
+
+    def test_balanced(self):
+        factors = factorize_evenly(1_000_000, 3)
+        assert max(factors) / min(factors) < 2.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            factorize_evenly(0, 3)
+
+    def test_mixed_radix_roundtrip(self):
+        radices = [7, 11, 13]
+        ids = np.arange(0, 7 * 11 * 13, 17)
+        digits = mixed_radix_digits(ids, radices)
+        reconstructed = digits[0] + radices[0] * (
+            digits[1] + radices[1] * digits[2]
+        )
+        np.testing.assert_array_equal(reconstructed, ids)
+
+    def test_digits_within_radices(self):
+        digits = mixed_radix_digits(np.arange(500), [8, 8, 8])
+        for digit, radix in zip(digits, [8, 8, 8]):
+            assert digit.max() < radix
+
+
+class TestTTEmbedding:
+    def test_output_shape(self, rng):
+        emb = TTEmbedding(100, 8, rank=4, rng=rng)
+        assert emb(np.array([0, 5, 99])).shape == (3, 8)
+
+    def test_2d_ids(self, rng):
+        emb = TTEmbedding(100, 8, rank=4, rng=rng)
+        assert emb(np.zeros((4, 2), dtype=int)).shape == (4, 2, 8)
+
+    def test_deterministic_rows(self, rng):
+        emb = TTEmbedding(50, 8, rank=2, rng=rng)
+        a = emb(np.array([7]))
+        b = emb(np.array([7, 7]))
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(b[0], b[1])
+
+    def test_distinct_rows_differ(self, rng):
+        emb = TTEmbedding(50, 8, rank=4, rng=rng)
+        out = emb(np.array([1, 2]))
+        assert not np.allclose(out[0], out[1])
+
+    def test_out_of_range_rejected(self, rng):
+        emb = TTEmbedding(50, 8, rank=2, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([50]))
+
+    def test_compression_on_large_table(self, rng):
+        emb = TTEmbedding(1_000_000, 16, rank=8, rng=rng)
+        assert emb.compression_ratio() > 50
+
+    def test_tt_bytes_matches_instance(self, rng):
+        emb = TTEmbedding(1234, 16, rank=4, rng=rng)
+        assert tt_bytes(1234, 16, 4) == emb.bytes()
+
+    def test_flops_per_lookup_positive_and_rank_scaling(self, rng):
+        low = TTEmbedding(100, 16, rank=2, rng=rng).flops_per_lookup()
+        high = TTEmbedding(100, 16, rank=8, rng=rng).flops_per_lookup()
+        assert 0 < low < high
+
+    def test_invalid_dim_factors_rejected(self, rng):
+        with pytest.raises(ValueError):
+            TTEmbedding(100, 8, rank=2, rng=rng, dim_factors=(2, 2, 3))
+
+    def test_gradients_match_numerical(self, rng):
+        emb = TTEmbedding(30, 8, rank=2, rng=rng)
+        ids = np.array([0, 7, 29, 7])
+        out = emb(ids)
+        probe = rng.standard_normal(out.shape)
+        emb.zero_grad()
+        emb.backward(probe)
+        for name, param in emb.named_parameters():
+            def loss_of(p_val, _param=param):
+                saved = _param.data.copy()
+                _param.data = p_val
+                val = float(np.sum(emb(ids) * probe))
+                _param.data = saved
+                return val
+
+            num = numerical_gradient(loss_of, param.data.copy(), eps=1e-6)
+            np.testing.assert_allclose(
+                param.grad, num, atol=1e-6, rtol=1e-4, err_msg=name
+            )
+
+    def test_gradient_descent_fits_target_rows(self, rng):
+        """TT cores can be trained to approximate specific row vectors."""
+        emb = TTEmbedding(20, 8, rank=4, rng=rng)
+        ids = np.arange(20)
+        target = rng.standard_normal((20, 8)) * 0.1
+        initial = float(np.mean((emb(ids) - target) ** 2))
+        for _ in range(400):
+            out = emb(ids)
+            grad = 2.0 * (out - target) / target.size
+            emb.zero_grad()
+            emb.backward(grad)
+            for param in emb.parameters():
+                param.data -= 2.0 * param.grad
+        final = float(np.mean((emb(ids) - target) ** 2))
+        assert final < initial / 3
+
+
+class TestTTRecInDLRM:
+    def test_build_and_train_step(self, tiny_config, rng):
+        model = build_dlrm(tiny_config, "ttrec", rng, tt_rank=2)
+        dense = rng.standard_normal((4, tiny_config.n_dense))
+        sparse = np.stack(
+            [rng.integers(0, rows, 4) for rows in tiny_config.cardinalities], axis=1
+        )
+        logits = model(dense, sparse)
+        assert logits.shape == (4,)
+        model.zero_grad()
+        model.backward(rng.standard_normal(4))
+        assert any(np.any(p.grad != 0) for p in model.parameters())
+
+    def test_ttrec_compresses_vs_table(self, rng):
+        from repro.embeddings.ttrec import tt_bytes
+
+        dense_bytes = sum(rows * 16 * 4 for rows in KAGGLE.cardinalities)
+        tt_total = sum(tt_bytes(rows, 16, 8) for rows in KAGGLE.cardinalities)
+        assert tt_total < dense_bytes / 10

@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+
+from repro.data.zipf import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(n=100, alpha=1.05, seed=0)
+        ids = sampler.sample(10_000)
+        assert ids.min() >= 0 and ids.max() < 100
+
+    def test_head_is_hot(self):
+        sampler = ZipfSampler(n=10_000, alpha=1.05, seed=0)
+        ids = sampler.sample(50_000)
+        counts = np.bincount(ids, minlength=10_000)
+        # The hottest ID should dwarf the median ID (paper Fig 16a).
+        assert counts[0] > 100 * max(1, int(np.median(counts)))
+
+    def test_power_law_slope(self):
+        sampler = ZipfSampler(n=100_000, alpha=1.2, seed=1)
+        ids = sampler.sample(200_000)
+        counts = np.sort(np.bincount(ids, minlength=100_000))[::-1]
+        top = counts[:50].astype(float)
+        ranks = np.arange(1, 51, dtype=float)
+        slope = np.polyfit(np.log(ranks), np.log(top + 1), 1)[0]
+        assert -1.6 < slope < -0.8  # near -alpha
+
+    def test_alpha_zero_is_uniform(self):
+        sampler = ZipfSampler(n=50, alpha=0.0, seed=2)
+        ids = sampler.sample(100_000)
+        counts = np.bincount(ids, minlength=50)
+        assert counts.max() < 1.3 * counts.min()
+
+    def test_deterministic_given_seed(self):
+        a = ZipfSampler(n=100, seed=3).sample(100)
+        b = ZipfSampler(n=100, seed=3).sample(100)
+        np.testing.assert_array_equal(a, b)
+
+    def test_shuffle_moves_hot_id(self):
+        sampler = ZipfSampler(n=1000, alpha=1.5, seed=4, shuffle=True)
+        hottest = sampler.hottest(1)[0]
+        ids = sampler.sample(20_000)
+        counts = np.bincount(ids, minlength=1000)
+        assert counts[hottest] == counts.max()
+
+    def test_probability_sums_to_one(self):
+        sampler = ZipfSampler(n=500, alpha=1.05, seed=5)
+        np.testing.assert_allclose(
+            sampler.probability(np.arange(500)).sum(), 1.0
+        )
+
+    def test_hottest_descending_probability(self):
+        sampler = ZipfSampler(n=100, alpha=1.1, seed=6)
+        hot = sampler.hottest(5)
+        probs = sampler.probability(hot)
+        assert np.all(np.diff(probs) <= 0)
+
+    def test_expected_hit_rate_matches_empirical(self):
+        sampler = ZipfSampler(n=10_000, alpha=1.05, seed=7)
+        cached = sampler.hottest(100)
+        analytic = sampler.expected_hit_rate(cached)
+        ids = sampler.sample(100_000)
+        empirical = float(np.isin(ids, cached).mean())
+        assert abs(analytic - empirical) < 0.02
+
+    def test_expected_hit_rate_monotone_in_cache_size(self):
+        sampler = ZipfSampler(n=10_000, alpha=1.05, seed=8)
+        small = sampler.expected_hit_rate(sampler.hottest(10))
+        large = sampler.expected_hit_rate(sampler.hottest(1000))
+        assert large > small
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(n=0)
+        with pytest.raises(ValueError):
+            ZipfSampler(n=10, alpha=-1)
