@@ -1,0 +1,23 @@
+# Developer entry points. `make test` is the tier-1 gate; `make bench-smoke`
+# runs a fast subset of the figure benchmarks; `make lint` byte-compiles
+# every tree and checks the suite still collects (no external linters are
+# assumed in the container).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke lint check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) -m pytest -q \
+		benchmarks/test_serving_engine_scale.py \
+		benchmarks/test_fig11_throughput_breakdown.py
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	$(PYTHON) -m pytest --collect-only -q > /dev/null
+
+check: lint test bench-smoke

@@ -17,7 +17,14 @@ PAPER = {"kaggle": 2.49, "terabyte": 3.76}
 
 def run_dataset(model, seed):
     scenario = ServingScenario.paper_default(n_queries=N_QUERIES, seed=seed)
-    return run_serving_comparison(model, scenario, subset=SUBSET)
+    results = run_serving_comparison(model, scenario, subset=SUBSET)
+    # Micro-batched variant of the winner: coalescing must not change the
+    # headline story (amortized base latency may even improve it).
+    results["mp-rec+batch8"] = run_serving_comparison(
+        model, scenario, subset=("mp-rec",),
+        max_batch_size=8, batch_timeout_s=0.002,
+    )["mp-rec"]
+    return results
 
 
 def _check(results, dataset, record):
@@ -38,10 +45,20 @@ def _check(results, dataset, record):
     factor = results["mp-rec"].correct_prediction_throughput / base
     # Shape: MP-Rec on top; static compute representations degrade.
     for name, res in results.items():
+        if name == "mp-rec+batch8":
+            continue  # batching may legitimately edge out per-query dispatch
         assert (
             results["mp-rec"].correct_prediction_throughput
             >= res.correct_prediction_throughput * 0.99
         ), name
+    # Micro-batching keeps MP-Rec's headline throughput (within 20%) and
+    # never hurts SLA compliance relative to per-query dispatch.
+    batched = results["mp-rec+batch8"]
+    assert (
+        batched.correct_prediction_throughput
+        > 0.8 * results["mp-rec"].correct_prediction_throughput
+    )
+    assert batched.violation_rate <= results["mp-rec"].violation_rate + 0.05
     assert results["dhe-gpu"].correct_prediction_throughput < 0.8 * base
     assert results["hybrid-gpu"].correct_prediction_throughput < 0.8 * base
     assert factor > 1.5

@@ -17,11 +17,15 @@ SUBSET = ("table-cpu", "table-gpu", "dhe-gpu", "hybrid-gpu", "table-switch", "mp
 
 def run():
     scenario = ServingScenario.paper_default(n_queries=2000, seed=21)
-    return run_serving_comparison(KAGGLE, scenario, subset=SUBSET)
+    exact = run_serving_comparison(KAGGLE, scenario, subset=SUBSET)
+    streamed = run_serving_comparison(
+        KAGGLE, scenario, subset=("mp-rec",), streaming=True
+    )["mp-rec"]
+    return exact, streamed
 
 
 def test_fig11_throughput_breakdown(benchmark, record):
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    results, streamed = benchmark.pedantic(run, rounds=1, iterations=1)
 
     lines = []
     for name, res in results.items():
@@ -50,3 +54,11 @@ def test_fig11_throughput_breakdown(benchmark, record):
     # The ratio correct/raw equals mean accuracy/100 by construction.
     ratio = mp.correct_prediction_throughput / mp.raw_throughput
     assert abs(ratio - mp.mean_accuracy / 100.0) < 1e-6
+    # Streaming (record-free) aggregation reproduces the exact counters
+    # and approximates the tail within P2/reservoir tolerance.
+    assert streamed.correct_prediction_throughput == mp.correct_prediction_throughput
+    assert streamed.raw_throughput == mp.raw_throughput
+    assert streamed.violation_rate == mp.violation_rate
+    assert abs(streamed.p99_latency_s - mp.p99_latency_s) < 0.25 * max(
+        mp.p99_latency_s, 1e-9
+    )

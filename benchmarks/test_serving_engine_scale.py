@@ -1,0 +1,79 @@
+"""Event-engine scale check: batching throughput + reference equivalence.
+
+The event-driven engine must (a) reproduce the seed per-query loop's
+records exactly when batching is disabled, and (b) with micro-batching
+enabled, simulate a 100k-query production-rate scenario at >= 5x the
+reference loop's queries per second of simulator wall-clock (routing once
+per coalesced batch instead of once per query is where the time goes).
+"""
+
+import time
+
+from conftest import fmt_row
+
+from repro.experiments.setup import build_schedulers
+from repro.models.configs import KAGGLE
+from repro.serving.simulator import ReferenceSimulator, ServingSimulator
+from repro.serving.workload import ServingScenario
+
+N_QUERIES = 100_000
+QPS = 20_000.0
+SPEEDUP_FLOOR = 5.0
+
+
+def run_scale():
+    scenario = ServingScenario.paper_default(n_queries=N_QUERIES, qps=QPS, seed=7)
+    scheduler = build_schedulers(KAGGLE)["mp-rec"]
+
+    t0 = time.perf_counter()
+    ReferenceSimulator(scheduler, track_energy=False).run(scenario)
+    t_reference = time.perf_counter() - t0
+
+    batched_sim = ServingSimulator(
+        scheduler, track_energy=False,
+        max_batch_size=128, batch_timeout_s=0.004,
+    )
+    t0 = time.perf_counter()
+    batched = batched_sim.run(scenario)
+    t_batched = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    streamed = batched_sim.run_streaming(scenario)
+    t_streaming = time.perf_counter() - t0
+
+    return t_reference, t_batched, t_streaming, batched, streamed
+
+
+def test_engine_equivalence_paper_default(record):
+    """Batching disabled: the event engine is record-for-record identical
+    to the seed loop on the paper's default scenario, shedding included."""
+    scenario = ServingScenario.paper_default(n_queries=2000, seed=11)
+    scheduler = build_schedulers(KAGGLE)["mp-rec"]
+    for shed_policy in ("none", "drop-late"):
+        reference = ReferenceSimulator(scheduler, shed_policy=shed_policy)
+        engine = ServingSimulator(scheduler, shed_policy=shed_policy)
+        assert engine.run(scenario).records == reference.run(scenario).records
+    record(
+        "Engine equivalence (paper default, 2000 queries)",
+        ["event engine == reference loop, policies: none, drop-late"],
+    )
+
+
+def test_engine_scale_speedup(benchmark, record):
+    t_reference, t_batched, t_streaming, batched, streamed = benchmark.pedantic(
+        run_scale, rounds=1, iterations=1
+    )
+    speedup = t_reference / t_batched
+    lines = [
+        fmt_row("reference", wall_s=t_reference, qps=N_QUERIES / t_reference),
+        fmt_row("batched", wall_s=t_batched, qps=N_QUERIES / t_batched,
+                speedup=speedup),
+        fmt_row("streaming", wall_s=t_streaming, qps=N_QUERIES / t_streaming,
+                speedup=t_reference / t_streaming),
+    ]
+    record(f"Engine scale: {N_QUERIES} queries @ {QPS:.0f} QPS", lines)
+
+    assert speedup >= SPEEDUP_FLOOR
+    # Streaming mode agrees with the record-backed run on exact counters.
+    assert streamed.raw_throughput == batched.raw_throughput
+    assert streamed.violation_rate == batched.violation_rate

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI entry point: lint (byte-compile + collect), tier-1 tests, and a quick
+# benchmark smoke pass. Mirrors the Makefile targets for environments
+# without make.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+echo "== lint =="
+python -m compileall -q src tests benchmarks examples
+python -m pytest --collect-only -q > /dev/null
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== benchmark smoke =="
+python -m pytest -q \
+    benchmarks/test_serving_engine_scale.py \
+    benchmarks/test_fig11_throughput_breakdown.py

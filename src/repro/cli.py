@@ -33,6 +33,13 @@ def _datasets():
     }
 
 
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return parsed
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="MP-Rec reproduction toolkit"
@@ -68,6 +75,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--qps", type=float, default=1000.0)
     serve.add_argument("--sla-ms", type=float, default=10.0)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--arrivals", default="poisson",
+        choices=["poisson", "uniform", "diurnal", "mmpp", "flash-crowd"],
+    )
+    serve.add_argument(
+        "--shed-policy", default="none",
+        choices=["none", "drop-late", "deadline-aware"],
+    )
+    serve.add_argument("--max-batch", type=_positive_int, default=1)
+    serve.add_argument("--batch-timeout-ms", type=float, default=0.0)
+    serve.add_argument(
+        "--streaming", action="store_true",
+        help="constant-memory metrics (for very large --queries)",
+    )
 
     char = sub.add_parser("characterize", help="operator breakdowns")
     char.add_argument("--dataset", default="kaggle", choices=["kaggle", "terabyte"])
@@ -125,17 +146,23 @@ def cmd_serve(args) -> int:
     from repro.serving.workload import ServingScenario
 
     config = _datasets()[args.dataset]
-    scenario = ServingScenario.paper_default(
-        n_queries=args.queries, qps=args.qps, sla_s=args.sla_ms / 1e3,
-        seed=args.seed,
+    scenario = ServingScenario.with_process(
+        args.arrivals, n_queries=args.queries, qps=args.qps,
+        sla_s=args.sla_ms / 1e3, seed=args.seed,
     )
-    results = run_serving_comparison(config, scenario, subset=(args.scheduler,))
+    results = run_serving_comparison(
+        config, scenario, subset=(args.scheduler,),
+        shed_policy=args.shed_policy, max_batch_size=args.max_batch,
+        batch_timeout_s=args.batch_timeout_ms / 1e3,
+        streaming=args.streaming,
+    )
     result = results[args.scheduler]
     print(f"scheduler              : {args.scheduler}")
     print(f"correct predictions/s  : {result.correct_prediction_throughput:,.0f}")
     print(f"raw samples/s          : {result.raw_throughput:,.0f}")
     print(f"served accuracy        : {result.mean_accuracy:.3f}%")
     print(f"SLA violations         : {result.violation_rate * 100:.2f}%")
+    print(f"shed (dropped)         : {result.drop_rate * 100:.2f}%")
     print(f"p99 latency            : {result.p99_latency_s * 1e3:.2f} ms")
     for label, share in result.switching_breakdown().items():
         print(f"  {label:16s} {share * 100:5.1f}%")

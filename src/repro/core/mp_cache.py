@@ -51,14 +51,18 @@ class EncoderCache:
         capacity_bytes: int,
         embedding_dim: int,
         policy: str = "static",
+        n_features: int | None = None,
     ) -> None:
         if capacity_bytes < 0:
             raise ValueError("capacity_bytes must be non-negative")
         if policy not in ("static", "lru"):
             raise ValueError("policy must be 'static' or 'lru'")
+        if n_features is not None and n_features < 1:
+            raise ValueError("n_features must be positive when declared")
         self.capacity_bytes = capacity_bytes
         self.embedding_dim = embedding_dim
         self.policy = policy
+        self.n_features = n_features
         self.entry_bytes = embedding_dim * FP32 + ENTRY_KEY_BYTES
         self.capacity_entries = capacity_bytes // self.entry_bytes
         self._resident: dict[int, set[int]] = {}
@@ -112,8 +116,29 @@ class EncoderCache:
         return mask
 
     def _lru_lookup(self, feature: int, ids: np.ndarray) -> np.ndarray:
-        per_feature = max(1, self.capacity_entries // max(1, len(self._lru) or 1))
+        grew = feature not in self._lru
+        if (
+            grew
+            and self.n_features is not None
+            and len(self._lru) >= self.n_features
+        ):
+            # A declared count pins the per-feature quota; admitting extra
+            # features would silently overcommit the byte budget.
+            raise ValueError(
+                f"feature {feature} exceeds the declared n_features="
+                f"{self.n_features}"
+            )
         cache = self._lru.setdefault(feature, OrderedDict())
+        # Size per-feature shares from the *post-insert* feature count (a
+        # declared count pins the split up front); sizing from the
+        # pre-insert count let the first feature claim the whole capacity
+        # and gave each of F features capacity // (F-1).
+        per_feature = self._per_feature_entries()
+        if grew and self.n_features is None:
+            # A new feature shrank everyone's share: evict the coldest
+            # entries of already-populated features down to the new quota,
+            # not just lazily on their next miss.
+            self._rebalance(per_feature)
         mask = np.zeros(ids.size, dtype=bool)
         for i, raw in enumerate(ids):
             key = int(raw)
@@ -125,6 +150,15 @@ class EncoderCache:
                 while len(cache) > per_feature:
                     cache.popitem(last=False)
         return mask
+
+    def _per_feature_entries(self) -> int:
+        features = self.n_features if self.n_features is not None else len(self._lru)
+        return max(1, self.capacity_entries // max(1, features))
+
+    def _rebalance(self, per_feature: int) -> None:
+        for cache in self._lru.values():
+            while len(cache) > per_feature:
+                cache.popitem(last=False)
 
     @property
     def observed_hit_rate(self) -> float:

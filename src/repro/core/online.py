@@ -43,6 +43,26 @@ class Scheduler:
     ) -> Decision:
         raise NotImplementedError
 
+    # ---- event-engine hooks ---------------------------------------------
+
+    def select_batch(
+        self, total_size: int, sla_s: float, now: float,
+        free_at: dict[str, list[float]],
+    ) -> Decision:
+        """Route one coalesced micro-batch (called once per batch by the
+        event engine). The default treats the batch as a single query of
+        the combined sample count, which is exactly the per-query decision
+        when batching is disabled; schedulers may override to apply
+        batch-aware placement."""
+        return self.select(total_size, sla_s, now, free_at)
+
+    def on_batch_dispatched(
+        self, path: ExecutionPath, total_size: int, start_s: float,
+        finish_s: float,
+    ) -> None:
+        """Notification after a batch is committed to a server; the base
+        scheduler is stateless, subclasses may track in-flight load."""
+
     def _decision(
         self, path: ExecutionPath, query_size: int, now: float,
         free_at: dict[str, list[float]],

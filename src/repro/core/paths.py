@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -31,13 +32,17 @@ class PathProfile:
             raise ValueError("profile needs at least one point")
         if np.any(np.diff(self.sizes) <= 0):
             raise ValueError("sizes must be strictly increasing")
+        # latency() sits on the scheduler's per-decision hot path; cache the
+        # log-domain profile so each call is one scalar interpolation.
+        self._log_sizes = np.log(self.sizes)
+        self._log_latencies = np.log(self.latencies)
 
     def latency(self, query_size: float) -> float:
         if query_size <= 0:
             raise ValueError("query_size must be positive")
-        log_size = np.log(query_size)
-        log_sizes = np.log(self.sizes)
-        return float(np.exp(np.interp(log_size, log_sizes, np.log(self.latencies))))
+        return math.exp(
+            np.interp(math.log(query_size), self._log_sizes, self._log_latencies)
+        )
 
     def throughput(self, query_size: float) -> float:
         """Samples/second when saturating the device with this query size."""

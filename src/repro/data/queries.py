@@ -2,7 +2,22 @@
 
 Queries are batches of candidate items for one user request. Sizes follow a
 lognormal distribution with a configurable mean (default 128, range 1-4K as
-in DeepRecSys); arrivals follow a Poisson process at the target QPS.
+in DeepRecSys); arrivals follow one of several processes at the target QPS:
+
+``poisson``
+    Homogeneous Poisson — the paper's default stationary load.
+``uniform``
+    Deterministic equal spacing (useful for analytic checks).
+``diurnal``
+    Inhomogeneous Poisson with a sinusoidal rate — the day/night cycle
+    Hercules-style provisioning targets, compressed into a short window.
+``mmpp`` (alias ``bursty``)
+    Two-state Markov-modulated Poisson: exponential dwell times alternate
+    a quiet baseline with short high-rate bursts, the on-off burstiness of
+    real frontend traffic that a stationary Poisson underestimates.
+``flash-crowd``
+    Stationary baseline with one multiplicative spike window — the
+    breaking-news / product-drop surge that stresses admission control.
 """
 
 from __future__ import annotations
@@ -16,11 +31,16 @@ MAX_QUERY_SIZE = 4096
 
 @dataclass(frozen=True)
 class Query:
-    """One inference request: ``size`` candidate items arriving at a time."""
+    """One inference request: ``size`` candidate items arriving at a time.
+
+    ``tenant`` tags the originating workload in multi-tenant scenarios
+    (empty for single-tenant runs); per-tenant SLAs live on the scenario.
+    """
 
     index: int
     size: int
     arrival_s: float
+    tenant: str = ""
 
 
 @dataclass
@@ -79,6 +99,10 @@ def arrival_times(
         return np.arange(1, n_queries + 1) / qps
     if process == "diurnal":
         return _diurnal_arrivals(n_queries, qps, rng)
+    if process in ("mmpp", "bursty"):
+        return _mmpp_arrivals(n_queries, qps, rng)
+    if process == "flash-crowd":
+        return _flash_crowd_arrivals(n_queries, qps, rng)
     raise ValueError(f"unknown arrival process {process!r}")
 
 
@@ -109,6 +133,86 @@ def _diurnal_arrivals(
     return np.array(times)
 
 
+def _mmpp_arrivals(
+    n_queries: int,
+    mean_qps: float,
+    rng: np.random.Generator,
+    burst_factor: float = 4.0,
+    duty: float = 0.2,
+    mean_dwell_s: float = 1.0,
+) -> np.ndarray:
+    """Two-state MMPP (on-off) arrivals with the requested long-run rate.
+
+    The process spends a ``duty`` fraction of time in a burst state at
+    ``burst_factor`` times the mean rate and the rest at a calm rate chosen
+    so the time-weighted average stays ``mean_qps``. Dwell times in each
+    state are exponential with mean ``mean_dwell_s`` scaled by the state's
+    long-run share.
+    """
+    if burst_factor <= 1.0:
+        raise ValueError("burst_factor must exceed 1")
+    if not 0.0 < duty < 1.0:
+        raise ValueError("duty must be in (0, 1)")
+    if duty * burst_factor >= 1.0:
+        raise ValueError("duty * burst_factor must stay below 1 so the calm "
+                         "rate remains positive")
+    rate_high = burst_factor * mean_qps
+    rate_low = mean_qps * (1.0 - duty * burst_factor) / (1.0 - duty)
+    dwell_high = mean_dwell_s * duty
+    dwell_low = mean_dwell_s * (1.0 - duty)
+    times = np.empty(n_queries)
+    count = 0
+    t = 0.0
+    bursting = False
+    state_end = rng.exponential(dwell_low)
+    while count < n_queries:
+        rate = rate_high if bursting else rate_low
+        t_next = t + rng.exponential(1.0 / rate)
+        if t_next >= state_end:
+            # State flips before the next arrival would land; resample the
+            # gap under the new state's rate from the flip instant.
+            t = state_end
+            bursting = not bursting
+            state_end = t + rng.exponential(dwell_high if bursting else dwell_low)
+            continue
+        t = t_next
+        times[count] = t
+        count += 1
+    return times
+
+
+def _flash_crowd_arrivals(
+    n_queries: int,
+    base_qps: float,
+    rng: np.random.Generator,
+    spike_factor: float = 5.0,
+    spike_start_frac: float = 0.5,
+    spike_duration_frac: float = 0.1,
+) -> np.ndarray:
+    """Baseline Poisson traffic with one multiplicative spike window.
+
+    The spike is placed relative to the nominal (pre-spike) horizon
+    ``n_queries / base_qps`` and sampled by thinning against the peak rate.
+    """
+    if spike_factor < 1.0:
+        raise ValueError("spike_factor must be >= 1")
+    horizon = n_queries / base_qps
+    spike_start = spike_start_frac * horizon
+    spike_end = spike_start + spike_duration_frac * horizon
+    peak = base_qps * spike_factor
+    times = np.empty(n_queries)
+    count = 0
+    t = 0.0
+    while count < n_queries:
+        t += rng.exponential(1.0 / peak)
+        in_spike = spike_start <= t < spike_end
+        rate = peak if in_spike else base_qps
+        if in_spike or rng.random() < rate / peak:
+            times[count] = t
+            count += 1
+    return times
+
+
 def generate_query_set(
     n_queries: int = 10_000,
     mean_size: float = 128.0,
@@ -116,13 +220,17 @@ def generate_query_set(
     sigma: float = 1.0,
     seed: int = 0,
     process: str = "poisson",
+    tenant: str = "",
 ) -> QuerySet:
     """The paper's default workload: 10K lognormal queries, mean 128, 1000 QPS."""
     rng = np.random.default_rng(seed)
     sizes = lognormal_sizes(n_queries, mean_size, sigma=sigma, rng=rng)
     arrivals = arrival_times(n_queries, qps, rng=rng, process=process)
     queries = [
-        Query(index=i, size=int(sizes[i]), arrival_s=float(arrivals[i]))
+        Query(
+            index=i, size=int(sizes[i]), arrival_s=float(arrivals[i]),
+            tenant=tenant,
+        )
         for i in range(n_queries)
     ]
     return QuerySet(queries=queries)

@@ -39,6 +39,7 @@ class ZipfSampler:
             self._perm = self._rng.permutation(n)
         else:
             self._perm = None  # identity: ID 0 is hottest
+        self._inverse: np.ndarray | None = None  # built lazily, reused
 
     def sample(self, size: int | tuple[int, ...]) -> np.ndarray:
         """Sample IDs (inverse-CDF over the rank distribution)."""
@@ -53,9 +54,10 @@ class ZipfSampler:
         """Popularity of each ID (used to pick encoder-cache residents)."""
         ids = np.asarray(ids)
         if self._perm is not None:
-            inverse = np.empty_like(self._perm)
-            inverse[self._perm] = np.arange(self.n)
-            return self._probs[inverse[ids]]
+            if self._inverse is None:
+                self._inverse = np.empty_like(self._perm)
+                self._inverse[self._perm] = np.arange(self.n)
+            return self._probs[self._inverse[ids]]
         return self._probs[ids]
 
     def hottest(self, count: int) -> np.ndarray:

@@ -171,13 +171,28 @@ def run_serving_comparison(
     devices: list[DeviceSpec] | None = None,
     with_cache: bool = True,
     subset: tuple[str, ...] = (),
+    shed_policy: str = "none",
+    max_batch_size: int = 1,
+    batch_timeout_s: float = 0.0,
+    streaming: bool = False,
 ) -> dict[str, ServingResult]:
-    """Run every scheduler through the scenario; returns results by name."""
+    """Run every scheduler through the scenario; returns results by name.
+
+    ``shed_policy`` / ``max_batch_size`` / ``batch_timeout_s`` forward to
+    the event engine; defaults reproduce the per-query reference behavior.
+    ``streaming=True`` swaps exact record-backed results for constant-memory
+    :class:`~repro.serving.metrics.StreamingMetrics` (same metric API)."""
     scenario = scenario or ServingScenario.paper_default()
     schedulers = build_schedulers(model, devices, with_cache=with_cache)
     if subset:
         schedulers = {k: v for k, v in schedulers.items() if k in subset}
-    return {
-        name: ServingSimulator(sched).run(scenario)
-        for name, sched in schedulers.items()
-    }
+    results = {}
+    for name, sched in schedulers.items():
+        sim = ServingSimulator(
+            sched, shed_policy=shed_policy, max_batch_size=max_batch_size,
+            batch_timeout_s=batch_timeout_s,
+        )
+        results[name] = (
+            sim.run_streaming(scenario) if streaming else sim.run(scenario)
+        )
+    return results

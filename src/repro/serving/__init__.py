@@ -1,7 +1,35 @@
-"""Discrete-event query-serving simulation (Sections 5.3-6.8)."""
+"""Event-driven query-serving simulation (Sections 5.3-6.8)."""
 
-from repro.serving.metrics import ServingResult, QueryRecord
-from repro.serving.simulator import ServingSimulator
-from repro.serving.workload import ServingScenario
+from repro.serving.metrics import (
+    P2Quantile,
+    QueryRecord,
+    ReservoirSampler,
+    ServingResult,
+    StreamingMetrics,
+)
+from repro.serving.policies import (
+    DeadlineAware,
+    DropLate,
+    NoShed,
+    ShedPolicy,
+    make_policy,
+)
+from repro.serving.simulator import ReferenceSimulator, ServingSimulator
+from repro.serving.workload import ServingScenario, TenantSpec
 
-__all__ = ["ServingResult", "QueryRecord", "ServingSimulator", "ServingScenario"]
+__all__ = [
+    "DeadlineAware",
+    "DropLate",
+    "NoShed",
+    "P2Quantile",
+    "QueryRecord",
+    "ReferenceSimulator",
+    "ReservoirSampler",
+    "ServingResult",
+    "ServingScenario",
+    "ServingSimulator",
+    "ShedPolicy",
+    "StreamingMetrics",
+    "TenantSpec",
+    "make_policy",
+]

@@ -1,5 +1,23 @@
 """Serving metrics: throughput of correct predictions, SLA violations,
-switching breakdowns, and energy (Section 5.4)."""
+switching breakdowns, and energy (Section 5.4).
+
+Two aggregation modes share one metric vocabulary:
+
+:class:`ServingResult`
+    Exact, record-backed — holds every :class:`QueryRecord` and computes
+    percentiles from the full latency distribution. The right tool for
+    paper-figure reproductions (thousands of queries).
+:class:`StreamingMetrics`
+    Constant-memory — running counters plus P² (Jain & Chlamtac 1985)
+    percentile estimators and a bounded latency reservoir, so
+    million-query scenarios never materialize per-query records.
+
+Dropped (shed) queries count toward ``violation_rate`` and ``drop_rate``
+but are **excluded from latency percentiles** in both modes: a shed query
+was never answered, so it has no latency — folding its ``finish == arrival``
+record in would inject 0 s samples and make overloaded runs look *faster*
+the more they drop.
+"""
 
 from __future__ import annotations
 
@@ -22,6 +40,8 @@ class QueryRecord:
     accuracy: float  # percent
     energy_j: float = 0.0
     dropped: bool = False  # shed by an overload policy before execution
+    # Per-query SLA override (multi-tenant); None means the run-level target.
+    sla_s: float | None = None
 
     @property
     def latency_s(self) -> float:
@@ -68,6 +88,10 @@ class ServingResult:
             return 0.0
         return sum(r.correct_samples for r in self.records) / span
 
+    def _sla_of(self, record: QueryRecord) -> float:
+        """The SLA target governing one record (per-tenant aware)."""
+        return self.sla_s if record.sla_s is None else record.sla_s
+
     @property
     def compliant_correct_throughput(self) -> float:
         """Correct predictions per second counting only SLA-compliant
@@ -78,7 +102,9 @@ class ServingResult:
         if span <= 0:
             return 0.0
         compliant = sum(
-            r.correct_samples for r in self.records if r.latency_s <= self.sla_s
+            r.correct_samples
+            for r in self.records
+            if r.latency_s <= self._sla_of(r)
         )
         return compliant / span
 
@@ -94,7 +120,7 @@ class ServingResult:
         if not self.records:
             return 0.0
         violated = sum(
-            1 for r in self.records if r.dropped or r.latency_s > self.sla_s
+            1 for r in self.records if r.dropped or r.latency_s > self._sla_of(r)
         )
         return violated / len(self.records)
 
@@ -120,9 +146,12 @@ class ServingResult:
     # ---- distributions ------------------------------------------------------
 
     def latency_percentile(self, q: float) -> float:
-        if not self.records:
+        """Latency percentile over *served* queries; shed queries were never
+        answered and must not deflate the tail with 0 s samples."""
+        served = [r.latency_s for r in self.records if not r.dropped]
+        if not served:
             return 0.0
-        return float(np.percentile([r.latency_s for r in self.records], q))
+        return float(np.percentile(served, q))
 
     @property
     def p50_latency_s(self) -> float:
@@ -149,6 +178,291 @@ class ServingResult:
             "qps": self.achieved_qps,
             "accuracy": self.mean_accuracy,
             "violation_rate": self.violation_rate,
+            "drop_rate": self.drop_rate,
+            "p99_latency_ms": self.p99_latency_s * 1e3,
+            "energy_j": self.total_energy_j,
+        }
+
+
+class P2Quantile:
+    """Streaming quantile via the P² algorithm (Jain & Chlamtac, 1985).
+
+    Tracks five markers whose heights approximate the ``q``-quantile with
+    O(1) memory and O(1) update — the standard record-free percentile
+    estimator for long-running serving telemetry.
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError("q must be in (0, 1)")
+        self.q = q
+        self._initial: list[float] = []
+        self._heights: list[float] = []
+        self._pos: list[float] = []
+        self._desired: list[float] = []
+        self._inc = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        self.count = 0
+
+    def observe(self, x: float) -> None:
+        self.count += 1
+        if self._heights:
+            self._update(x)
+            return
+        self._initial.append(x)
+        if len(self._initial) == 5:
+            self._initial.sort()
+            self._heights = list(self._initial)
+            self._pos = [1.0, 2.0, 3.0, 4.0, 5.0]
+            self._desired = [
+                1.0, 1.0 + 2.0 * self.q, 1.0 + 4.0 * self.q,
+                3.0 + 2.0 * self.q, 5.0,
+            ]
+
+    def _update(self, x: float) -> None:
+        h, pos = self._heights, self._pos
+        if x < h[0]:
+            h[0] = x
+            cell = 0
+        elif x >= h[4]:
+            h[4] = x
+            cell = 3
+        else:
+            cell = next(i for i in range(4) if h[i] <= x < h[i + 1])
+        for i in range(cell + 1, 5):
+            pos[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._inc[i]
+        for i in (1, 2, 3):
+            d = self._desired[i] - pos[i]
+            if (d >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
+                d <= -1.0 and pos[i - 1] - pos[i] < -1.0
+            ):
+                step = 1.0 if d > 0 else -1.0
+                candidate = self._parabolic(i, step)
+                if not h[i - 1] < candidate < h[i + 1]:
+                    candidate = self._linear(i, step)
+                h[i] = candidate
+                pos[i] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, n = self._heights, self._pos
+        return h[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        h, n = self._heights, self._pos
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (n[j] - n[i])
+
+    @property
+    def value(self) -> float:
+        if self._heights:
+            return self._heights[2]
+        if not self._initial:
+            return 0.0
+        return float(np.percentile(self._initial, self.q * 100.0))
+
+
+class ReservoirSampler:
+    """Uniform bounded-memory sample of a stream (Vitter's Algorithm R)."""
+
+    _BLOCK = 4096
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._rng = np.random.default_rng(seed)
+        self._sample: list[float] = []
+        self.count = 0
+        # Uniforms are drawn in blocks: one Generator call per 4096
+        # observations instead of one per observation (hot streaming path).
+        self._uniforms = self._rng.random(self._BLOCK)
+        self._cursor = 0
+
+    def observe(self, x: float) -> None:
+        self.count += 1
+        if len(self._sample) < self.capacity:
+            self._sample.append(x)
+            return
+        if self._cursor == self._BLOCK:
+            self._uniforms = self._rng.random(self._BLOCK)
+            self._cursor = 0
+        j = int(self._uniforms[self._cursor] * self.count)
+        self._cursor += 1
+        if j < self.capacity:
+            self._sample[j] = x
+
+    def percentile(self, q: float) -> float:
+        if not self._sample:
+            return 0.0
+        return float(np.percentile(self._sample, q))
+
+
+class StreamingMetrics:
+    """Record-free aggregation with the :class:`ServingResult` vocabulary.
+
+    ``observe`` ingests one query outcome; every paper metric is then
+    available as a property. Named percentiles (p50/p95/p99) come from P²
+    estimators; arbitrary ``latency_percentile(q)`` queries fall back to a
+    uniform reservoir over served latencies. Memory is O(reservoir), not
+    O(queries).
+    """
+
+    PERCENTILES = (50.0, 95.0, 99.0)
+
+    def __init__(
+        self,
+        scheduler_name: str,
+        sla_s: float,
+        reservoir_size: int = 2048,
+        seed: int = 0,
+    ) -> None:
+        self.scheduler_name = scheduler_name
+        self.sla_s = sla_s
+        self.n = 0
+        self.n_dropped = 0
+        self.n_violations = 0
+        self.total_samples = 0
+        self._correct_sum = 0.0
+        self._compliant_correct_sum = 0.0
+        self._accuracy_weighted_sum = 0.0
+        self._energy_sum = 0.0
+        self._max_finish = 0.0
+        self._path_counts: Counter[str] = Counter()
+        self._estimators = {p: P2Quantile(p / 100.0) for p in self.PERCENTILES}
+        self._reservoir = ReservoirSampler(reservoir_size, seed=seed)
+
+    def observe(
+        self,
+        size: int,
+        arrival_s: float,
+        start_s: float,
+        finish_s: float,
+        path_label: str,
+        accuracy: float,
+        energy_j: float = 0.0,
+        dropped: bool = False,
+        sla_s: float | None = None,
+    ) -> None:
+        """Fold one query outcome into the running aggregates.
+
+        ``sla_s`` overrides the run-level target for this query (multi-tenant
+        scenarios carry per-tenant SLAs)."""
+        sla = self.sla_s if sla_s is None else sla_s
+        self.n += 1
+        self.total_samples += size
+        self._path_counts[path_label] += 1
+        self._max_finish = max(self._max_finish, finish_s)
+        if dropped:
+            self.n_dropped += 1
+            self.n_violations += 1
+            return
+        latency = finish_s - arrival_s
+        correct = size * accuracy / 100.0
+        self._correct_sum += correct
+        self._accuracy_weighted_sum += accuracy * size
+        self._energy_sum += energy_j
+        if latency > sla:
+            self.n_violations += 1
+        else:
+            self._compliant_correct_sum += correct
+        for estimator in self._estimators.values():
+            estimator.observe(latency)
+        self._reservoir.observe(latency)
+
+    def observe_record(self, record: QueryRecord, sla_s: float | None = None) -> None:
+        self.observe(
+            record.size, record.arrival_s, record.start_s, record.finish_s,
+            record.path_label, record.accuracy, energy_j=record.energy_j,
+            dropped=record.dropped,
+            sla_s=record.sla_s if sla_s is None else sla_s,
+        )
+
+    # ---- core paper metrics ----------------------------------------------
+
+    @property
+    def makespan_s(self) -> float:
+        return self._max_finish
+
+    @property
+    def raw_throughput(self) -> float:
+        span = self.makespan_s
+        return self.total_samples / span if span > 0 else 0.0
+
+    @property
+    def correct_prediction_throughput(self) -> float:
+        span = self.makespan_s
+        return self._correct_sum / span if span > 0 else 0.0
+
+    @property
+    def compliant_correct_throughput(self) -> float:
+        span = self.makespan_s
+        return self._compliant_correct_sum / span if span > 0 else 0.0
+
+    @property
+    def achieved_qps(self) -> float:
+        span = self.makespan_s
+        return self.n / span if span > 0 else 0.0
+
+    @property
+    def violation_rate(self) -> float:
+        return self.n_violations / self.n if self.n else 0.0
+
+    @property
+    def drop_rate(self) -> float:
+        return self.n_dropped / self.n if self.n else 0.0
+
+    @property
+    def mean_accuracy(self) -> float:
+        if self.total_samples == 0:
+            return 0.0
+        return self._accuracy_weighted_sum / self.total_samples
+
+    @property
+    def total_energy_j(self) -> float:
+        return self._energy_sum
+
+    # ---- distributions ------------------------------------------------------
+
+    def latency_percentile(self, q: float) -> float:
+        """Percentile over served latencies: P² for the named percentiles,
+        reservoir estimate otherwise."""
+        estimator = self._estimators.get(float(q))
+        if estimator is not None:
+            return estimator.value
+        return self._reservoir.percentile(q)
+
+    @property
+    def p50_latency_s(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return self.latency_percentile(95)
+
+    @property
+    def p99_latency_s(self) -> float:
+        return self.latency_percentile(99)
+
+    def switching_breakdown(self) -> dict[str, float]:
+        if not self.n:
+            return {}
+        return {
+            label: count / self.n
+            for label, count in sorted(self._path_counts.items())
+        }
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "correct_tput": self.correct_prediction_throughput,
+            "raw_tput": self.raw_throughput,
+            "qps": self.achieved_qps,
+            "accuracy": self.mean_accuracy,
+            "violation_rate": self.violation_rate,
+            "drop_rate": self.drop_rate,
             "p99_latency_ms": self.p99_latency_s * 1e3,
             "energy_j": self.total_energy_j,
         }

@@ -1,10 +1,45 @@
-"""Serving scenarios: a query set plus SLA and throughput targets."""
+"""Serving scenarios: a query set plus SLA and throughput targets.
+
+Besides the paper's stationary default (Section 5.3), scenarios cover the
+traffic shapes a production frontend actually sees: diurnal sinusoidal
+load, bursty on-off (MMPP) traffic, a flash-crowd spike, and multi-tenant
+mixes where each tenant ships its own arrival process, query-size mix, and
+SLA target. Per-tenant SLAs ride on ``sla_by_tenant``; the engine resolves
+each query's target through :meth:`ServingScenario.sla_for`.
+"""
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
-from repro.data.queries import QuerySet, generate_query_set
+from repro.data.queries import Query, QuerySet, generate_query_set
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's workload contribution to a multi-tenant scenario."""
+
+    name: str
+    n_queries: int
+    qps: float
+    sla_s: float
+    mean_size: float = 128.0
+    process: str = "poisson"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.n_queries <= 0:
+            raise ValueError("n_queries must be positive")
+
+    @property
+    def effective_seed(self) -> int:
+        """Seed mixed with the tenant name so tenants left on the default
+        seed still draw independent streams — identical seeds would make
+        every arrival a simultaneous cross-tenant collision."""
+        return (self.seed + zlib.crc32(self.name.encode())) % 2**31
 
 
 @dataclass
@@ -14,6 +49,13 @@ class ServingScenario:
     queries: QuerySet
     sla_s: float = 0.010  # 10 ms strict SLA target
     target_qps: float = 1000.0
+    sla_by_tenant: dict[str, float] = field(default_factory=dict)
+
+    def sla_for(self, query: Query) -> float:
+        """The SLA target governing one query (tenant-specific if tagged)."""
+        if query.tenant and self.sla_by_tenant:
+            return self.sla_by_tenant.get(query.tenant, self.sla_s)
+        return self.sla_s
 
     @classmethod
     def paper_default(
@@ -30,4 +72,83 @@ class ServingScenario:
             ),
             sla_s=sla_s,
             target_qps=qps,
+        )
+
+    @classmethod
+    def with_process(
+        cls,
+        process: str,
+        n_queries: int = 10_000,
+        mean_size: float = 128.0,
+        qps: float = 1000.0,
+        sla_s: float = 0.010,
+        seed: int = 0,
+    ) -> "ServingScenario":
+        """Paper-default sizes under an alternative arrival process
+        (``diurnal``, ``mmpp``/``bursty``, ``flash-crowd``, ...)."""
+        return cls(
+            queries=generate_query_set(
+                n_queries=n_queries, mean_size=mean_size, qps=qps, seed=seed,
+                process=process,
+            ),
+            sla_s=sla_s,
+            target_qps=qps,
+        )
+
+    @classmethod
+    def diurnal(cls, **kwargs) -> "ServingScenario":
+        """Sinusoidal day/night load (compressed period)."""
+        return cls.with_process("diurnal", **kwargs)
+
+    @classmethod
+    def bursty(cls, **kwargs) -> "ServingScenario":
+        """On-off Markov-modulated Poisson bursts."""
+        return cls.with_process("mmpp", **kwargs)
+
+    @classmethod
+    def flash_crowd(cls, **kwargs) -> "ServingScenario":
+        """Stationary load with one multiplicative spike window."""
+        return cls.with_process("flash-crowd", **kwargs)
+
+    @classmethod
+    def multi_tenant(
+        cls,
+        tenants: list[TenantSpec],
+        target_qps: float | None = None,
+    ) -> "ServingScenario":
+        """Merge per-tenant query streams into one arrival-ordered scenario.
+
+        Queries keep their tenant tag and are re-indexed globally in
+        arrival order; ``sla_s`` falls back to the strictest tenant target
+        so single-SLA consumers of the scenario stay conservative.
+        """
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError("tenant names must be unique")
+        merged: list[Query] = []
+        for tenant in tenants:
+            tenant_set = generate_query_set(
+                n_queries=tenant.n_queries,
+                mean_size=tenant.mean_size,
+                qps=tenant.qps,
+                seed=tenant.effective_seed,
+                process=tenant.process,
+                tenant=tenant.name,
+            )
+            merged.extend(tenant_set.queries)
+        merged.sort(key=lambda q: q.arrival_s)
+        merged = [
+            Query(index=i, size=q.size, arrival_s=q.arrival_s, tenant=q.tenant)
+            for i, q in enumerate(merged)
+        ]
+        return cls(
+            queries=QuerySet(queries=merged),
+            sla_s=min(t.sla_s for t in tenants),
+            target_qps=(
+                target_qps if target_qps is not None
+                else sum(t.qps for t in tenants)
+            ),
+            sla_by_tenant={t.name: t.sla_s for t in tenants},
         )

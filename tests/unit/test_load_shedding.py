@@ -74,3 +74,36 @@ class TestDropLatePolicy:
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError):
             ServingSimulator(StaticScheduler([slow_path()]), shed_policy="random")
+
+    def test_dropped_queries_excluded_from_latency_percentiles(self):
+        """Regression: shed queries carry finish == arrival, and their 0 s
+        'latencies' used to drag p50/p95/p99 *down* as load increased."""
+        sim = ServingSimulator(
+            StaticScheduler([slow_path()]), track_energy=False,
+            shed_policy="drop-late",
+        )
+        result = sim.run(overload_scenario())
+        assert result.drop_rate > 0.5
+        served_latencies = [r.latency_s for r in result.records if not r.dropped]
+        # Every percentile sits inside the served-latency envelope — none
+        # can fall below the 50 ms service floor the device imposes.
+        for q in (50, 95, 99):
+            p = result.latency_percentile(q)
+            assert min(served_latencies) <= p <= max(served_latencies)
+            assert p >= 0.05
+
+    def test_heavier_shedding_does_not_deflate_tail(self):
+        """The old skew in one assertion: under drop-late, p99 must not be
+        *better* than the same system serving everything."""
+        scenario = overload_scenario(n=40)
+        keep = ServingSimulator(
+            StaticScheduler([slow_path()]), track_energy=False
+        ).run(scenario)
+        shed = ServingSimulator(
+            StaticScheduler([slow_path()]), track_energy=False,
+            shed_policy="drop-late",
+        ).run(scenario)
+        assert shed.p50_latency_s >= 0.05
+        # Shedding keeps served latencies bounded near the SLA + service
+        # time, but never reports a tail below one service interval.
+        assert keep.p99_latency_s >= shed.p99_latency_s >= 0.05

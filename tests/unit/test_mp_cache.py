@@ -91,6 +91,73 @@ class TestEncoderCacheLRU:
         cache.lookup(0, np.array([2, 1, 3, 1]))  # 1 stays recent
         assert cache.lookup(0, np.array([1]))[0]
 
+    def entry(self, n):
+        return n * (16 * 4 + 8)
+
+    def test_first_feature_cannot_claim_whole_capacity(self):
+        """Regression: per-feature quota was computed from the pre-insert
+        feature count, so feature 0 kept ``capacity`` entries and with F
+        features each later one got capacity // (F - 1)."""
+        cache = EncoderCache(self.entry(10), embedding_dim=16, policy="lru")
+        cache.lookup(0, np.arange(10))  # fills feature 0 to the brim
+        cache.lookup(1, np.arange(100, 105))
+        # Two features now share the capacity: 5 entries each.
+        assert len(cache._lru[0]) <= 5
+        assert len(cache._lru[1]) <= 5
+
+    def test_rebalance_evicts_coldest_entries(self):
+        cache = EncoderCache(self.entry(10), embedding_dim=16, policy="lru")
+        cache.lookup(0, np.arange(10))
+        cache.lookup(1, np.array([100]))
+        # Feature 0 kept its five *most recent* entries (5..9).
+        assert set(cache._lru[0]) == {5, 6, 7, 8, 9}
+
+    def test_total_occupancy_never_exceeds_capacity(self):
+        cache = EncoderCache(self.entry(12), embedding_dim=16, policy="lru")
+        rng = np.random.default_rng(0)
+        for feature in (0, 1, 2, 0, 1, 2):
+            cache.lookup(feature, rng.integers(0, 1000, size=20))
+            total = sum(len(c) for c in cache._lru.values())
+            assert total <= cache.capacity_entries
+
+    def test_declared_feature_count_pins_quota_up_front(self):
+        cache = EncoderCache(
+            self.entry(10), embedding_dim=16, policy="lru", n_features=2
+        )
+        cache.lookup(0, np.arange(10))
+        # Feature 0 never overfills even before feature 1 shows up.
+        assert len(cache._lru[0]) == 5
+
+    def test_declared_feature_count_validated(self):
+        with pytest.raises(ValueError):
+            EncoderCache(1024, 16, policy="lru", n_features=0)
+
+    def test_extra_features_beyond_declared_rejected(self):
+        """Admitting undeclared features would overcommit the byte budget
+        (each would still claim capacity // n_features entries)."""
+        cache = EncoderCache(
+            self.entry(10), embedding_dim=16, policy="lru", n_features=2
+        )
+        cache.lookup(0, np.arange(3))
+        cache.lookup(1, np.arange(3))
+        with pytest.raises(ValueError):
+            cache.lookup(2, np.arange(3))
+
+    def test_steady_state_hit_rate_balanced_across_features(self):
+        """With the quota fix, identically-distributed features see
+        comparable hit rates instead of feature 0 dominating."""
+        cache = EncoderCache(self.entry(200), embedding_dim=16, policy="lru")
+        samplers = [ZipfSampler(5000, alpha=1.2, seed=f) for f in range(4)]
+        rates = []
+        for _ in range(3):  # warm, then measure per-feature
+            for f, sampler in enumerate(samplers):
+                cache.lookup(f, sampler.sample(2000))
+        for f, sampler in enumerate(samplers):
+            cache.reset_stats()
+            cache.lookup(f, sampler.sample(2000))
+            rates.append(cache.observed_hit_rate)
+        assert max(rates) - min(rates) < 0.15
+
 
 class TestDecoderCentroidCache:
     def make(self, rng, n_centroids=8):

@@ -51,7 +51,7 @@ class TestArrivalTimes:
 
     def test_unknown_process(self):
         with pytest.raises(ValueError):
-            arrival_times(10, qps=10.0, process="bursty")
+            arrival_times(10, qps=10.0, process="fractal")
 
     def test_diurnal_mean_rate(self):
         times = arrival_times(30_000, qps=1000.0, process="diurnal")
@@ -67,6 +67,38 @@ class TestArrivalTimes:
 
     def test_diurnal_monotone(self):
         times = arrival_times(500, qps=200.0, process="diurnal")
+        assert np.all(np.diff(times) >= 0)
+
+    def test_mmpp_mean_rate(self):
+        times = arrival_times(40_000, qps=1000.0, process="mmpp")
+        achieved = 40_000 / times[-1]
+        assert abs(achieved - 1000.0) / 1000.0 < 0.25
+
+    def test_bursty_alias(self):
+        a = arrival_times(500, qps=500.0, process="mmpp")
+        b = arrival_times(500, qps=500.0, process="bursty")
+        np.testing.assert_allclose(a, b)
+
+    def test_mmpp_burstier_than_poisson(self):
+        """Squared coefficient of variation of gaps exceeds a Poisson's 1."""
+        times = arrival_times(40_000, qps=1000.0, process="mmpp")
+        gaps = np.diff(times)
+        cv2 = gaps.var() / gaps.mean() ** 2
+        assert cv2 > 1.3
+
+    def test_mmpp_monotone(self):
+        times = arrival_times(2000, qps=500.0, process="mmpp")
+        assert np.all(np.diff(times) >= 0)
+
+    def test_flash_crowd_spike_window_is_denser(self):
+        times = arrival_times(30_000, qps=1000.0, process="flash-crowd")
+        horizon = 30.0  # nominal n/qps
+        spike = np.sum((times >= 0.5 * horizon) & (times < 0.6 * horizon))
+        baseline = np.sum((times >= 0.1 * horizon) & (times < 0.2 * horizon))
+        assert spike > 3 * baseline
+
+    def test_flash_crowd_monotone(self):
+        times = arrival_times(2000, qps=500.0, process="flash-crowd")
         assert np.all(np.diff(times) >= 0)
 
 

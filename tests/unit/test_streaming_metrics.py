@@ -1,0 +1,180 @@
+import numpy as np
+import pytest
+
+from repro.serving.metrics import (
+    P2Quantile,
+    QueryRecord,
+    ReservoirSampler,
+    ServingResult,
+    StreamingMetrics,
+)
+
+
+def make_records(latencies, sizes=None, accs=None, dropped=None):
+    n = len(latencies)
+    sizes = sizes or [100] * n
+    accs = accs or [80.0] * n
+    dropped = dropped or [False] * n
+    return [
+        QueryRecord(
+            index=i, size=sizes[i], arrival_s=0.0, start_s=0.0,
+            finish_s=0.0 if dropped[i] else latencies[i],
+            path_label="DROPPED" if dropped[i] else f"P{i % 2}",
+            accuracy=0.0 if dropped[i] else accs[i],
+            dropped=dropped[i],
+        )
+        for i in range(n)
+    ]
+
+
+class TestP2Quantile:
+    def test_small_stream_is_exact(self):
+        est = P2Quantile(0.5)
+        for x in (3.0, 1.0, 2.0):
+            est.observe(x)
+        assert est.value == pytest.approx(2.0)
+
+    def test_tracks_known_distribution(self, rng):
+        data = rng.exponential(1.0, size=20_000)
+        for q in (0.5, 0.95, 0.99):
+            est = P2Quantile(q)
+            for x in data:
+                est.observe(float(x))
+            exact = np.percentile(data, q * 100)
+            assert est.value == pytest.approx(exact, rel=0.1)
+
+    def test_rejects_degenerate_quantile(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_empty_value_zero(self):
+        assert P2Quantile(0.5).value == 0.0
+
+
+class TestReservoirSampler:
+    def test_keeps_everything_below_capacity(self):
+        res = ReservoirSampler(100)
+        for x in range(50):
+            res.observe(float(x))
+        assert res.percentile(100) == 49.0
+        assert res.percentile(0) == 0.0
+
+    def test_bounded_memory(self):
+        res = ReservoirSampler(64)
+        for x in range(10_000):
+            res.observe(float(x))
+        assert len(res._sample) == 64
+        assert res.count == 10_000
+
+    def test_approximates_distribution(self, rng):
+        res = ReservoirSampler(2000, seed=3)
+        data = rng.normal(10.0, 2.0, size=50_000)
+        for x in data:
+            res.observe(float(x))
+        assert res.percentile(50) == pytest.approx(10.0, abs=0.3)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(0)
+
+
+class TestStreamingVsExact:
+    """Streaming aggregation must agree with the record-backed result."""
+
+    def fold(self, records, sla_s=0.010):
+        exact = ServingResult(scheduler_name="t", sla_s=sla_s, records=records)
+        stream = StreamingMetrics("t", sla_s=sla_s)
+        for r in records:
+            stream.observe_record(r)
+        return exact, stream
+
+    def test_counters_match_exactly(self, rng):
+        latencies = rng.exponential(0.01, size=500).tolist()
+        dropped = (rng.random(500) < 0.2).tolist()
+        exact, stream = self.fold(make_records(latencies, dropped=dropped))
+        assert stream.raw_throughput == exact.raw_throughput
+        assert stream.correct_prediction_throughput == (
+            exact.correct_prediction_throughput
+        )
+        assert stream.compliant_correct_throughput == (
+            exact.compliant_correct_throughput
+        )
+        assert stream.violation_rate == exact.violation_rate
+        assert stream.drop_rate == exact.drop_rate
+        assert stream.mean_accuracy == exact.mean_accuracy
+        assert stream.achieved_qps == exact.achieved_qps
+
+    def test_percentiles_close_on_small_runs(self, rng):
+        latencies = rng.exponential(0.01, size=2000).tolist()
+        exact, stream = self.fold(make_records(latencies))
+        for q in (50, 95, 99):
+            assert stream.latency_percentile(q) == pytest.approx(
+                exact.latency_percentile(q), rel=0.15
+            )
+
+    def test_switching_breakdown_matches(self):
+        exact, stream = self.fold(make_records([0.01] * 10))
+        assert stream.switching_breakdown() == exact.switching_breakdown()
+
+    def test_summary_keys_match(self):
+        exact, stream = self.fold(make_records([0.01]))
+        assert set(stream.summary()) == set(exact.summary())
+
+    def test_per_tenant_sla_override(self):
+        stream = StreamingMetrics("t", sla_s=0.010)
+        # 20 ms latency: violates the default 10 ms but not a 50 ms tenant SLA.
+        rec = make_records([0.020])[0]
+        stream.observe_record(rec, sla_s=0.050)
+        assert stream.violation_rate == 0.0
+
+    def test_empty_stream_safe(self):
+        stream = StreamingMetrics("t", sla_s=0.01)
+        assert stream.raw_throughput == 0.0
+        assert stream.violation_rate == 0.0
+        assert stream.p99_latency_s == 0.0
+        assert stream.switching_breakdown() == {}
+
+
+class TestDroppedExcludedFromPercentiles:
+    """Regression: shed queries used to contribute 0 s latencies, so tail
+    percentiles *improved* as the system dropped more — exactly backwards."""
+
+    def test_exact_percentiles_ignore_drops(self):
+        latencies = [0.020] * 10
+        dropped = [False] * 10 + [True] * 90
+        records = make_records(latencies + [0.0] * 90, dropped=dropped)
+        res = ServingResult(scheduler_name="t", sla_s=0.01, records=records)
+        # 90% drops: the old behavior put p50/p95/p99 at 0 s.
+        assert res.p50_latency_s == pytest.approx(0.020)
+        assert res.p99_latency_s == pytest.approx(0.020)
+        # But drops still count against violation and drop rates.
+        assert res.drop_rate == 0.9
+        assert res.violation_rate >= 0.9
+
+    def test_streaming_percentiles_ignore_drops(self):
+        stream = StreamingMetrics("t", sla_s=0.01)
+        for r in make_records(
+            [0.020] * 10 + [0.0] * 90, dropped=[False] * 10 + [True] * 90
+        ):
+            stream.observe_record(r)
+        assert stream.p99_latency_s == pytest.approx(0.020)
+        assert stream.drop_rate == 0.9
+
+    def test_all_dropped_percentile_zero(self):
+        records = make_records([0.0] * 5, dropped=[True] * 5)
+        res = ServingResult(scheduler_name="t", sla_s=0.01, records=records)
+        assert res.p99_latency_s == 0.0
+
+    def test_more_drops_cannot_lower_tail(self):
+        """Monotonicity of the fix: adding dropped records leaves the
+        latency distribution untouched."""
+        served = make_records([0.005, 0.015, 0.030])
+        res_clean = ServingResult("t", 0.01, records=list(served))
+        extra_drops = make_records([0.0] * 50, dropped=[True] * 50)
+        res_loaded = ServingResult("t", 0.01, records=served + extra_drops)
+        for q in (50, 95, 99):
+            assert res_loaded.latency_percentile(q) == (
+                res_clean.latency_percentile(q)
+            )

@@ -75,3 +75,17 @@ class TestZipfSampler:
             ZipfSampler(n=0)
         with pytest.raises(ValueError):
             ZipfSampler(n=10, alpha=-1)
+
+    def test_inverse_permutation_cached_and_stable(self):
+        """probability() memoizes the O(n) inverse permutation: repeated
+        calls reuse one array and keep returning identical values."""
+        sampler = ZipfSampler(n=5000, alpha=1.05, seed=9, shuffle=True)
+        first = sampler.probability(np.arange(100))
+        cached = sampler._inverse
+        assert cached is not None
+        second = sampler.probability(np.arange(100))
+        assert sampler._inverse is cached  # same array object, not rebuilt
+        np.testing.assert_array_equal(first, second)
+        # Still consistent with the permutation's definition.
+        hottest = sampler.hottest(1)[0]
+        assert sampler.probability(np.array([hottest]))[0] == sampler._probs[0]
