@@ -1,12 +1,13 @@
 # Developer entry points. `make test` is the tier-1 gate; `make bench-smoke`
 # runs a fast subset of the figure benchmarks; `make lint` byte-compiles
 # every tree and checks the suite still collects (no external linters are
-# assumed in the container).
+# assumed in the container); `make examples-smoke` + `make docs-check` back
+# the CI docs job (every example runs green, every relative link resolves).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke lint check
+.PHONY: test bench-smoke lint check examples-smoke docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,4 +21,13 @@ lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
 	$(PYTHON) -m pytest --collect-only -q > /dev/null
 
-check: lint test bench-smoke
+examples-smoke:
+	@set -e; for example in examples/*.py; do \
+		echo "== $$example =="; \
+		$(PYTHON) $$example; \
+	done
+
+docs-check:
+	$(PYTHON) scripts/check_links.py
+
+check: lint test bench-smoke docs-check examples-smoke

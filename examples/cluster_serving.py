@@ -1,0 +1,110 @@
+"""Tour of the multi-node serving cluster: scaling, routers, fabrics,
+replication, and a live failover drill.
+
+    python examples/cluster_serving.py [--queries 4000]
+
+Four exhibits:
+  1. Scale-out sweep — the same saturating query stream on 1/2/4/8-node
+     clusters; raw throughput scales near-linearly, the all-to-all
+     embedding exchange eats the rest.
+  2. Router comparison — round-robin vs least-loaded vs shard-locality
+     routing on a thin 25 GbE fabric, where keeping hot shards local
+     visibly pays.
+  3. Fabric sweep — the identical cluster priced over 25 GbE, 100 GbE,
+     and RDMA links.
+  4. Failover drill — a node dies mid-run: with replication 2 every
+     in-flight query is re-routed and served; with replication 1 the
+     shards die with the node.
+"""
+
+import argparse
+
+from repro.experiments.setup import build_cluster
+from repro.hardware.topology import CLUSTER_LINKS
+from repro.models.configs import KAGGLE
+from repro.serving.workload import ServingScenario
+
+
+def header(title: str) -> None:
+    print(f"\n=== {title} ===")
+
+
+def row(label: str, cluster_result) -> None:
+    res = cluster_result.result
+    print(
+        f"{label:26s} samples/s={res.raw_throughput:12,.0f} "
+        f"p99={res.p99_latency_s * 1e3:7.2f} ms "
+        f"drop={res.drop_rate * 100:5.1f}%"
+    )
+
+
+def scale_out_sweep(scenario, batching) -> None:
+    header("1. Scale-out: raw throughput, locality router, replication 2")
+    base = None
+    for n_nodes in (1, 2, 4, 8):
+        cluster = build_cluster(
+            KAGGLE, n_nodes, router="locality",
+            replication=min(2, n_nodes), **batching,
+        )
+        result = cluster.run(scenario)
+        base = base or result.result.raw_throughput
+        row(
+            f"{n_nodes} node(s) "
+            f"(x{result.result.raw_throughput / base:.2f})",
+            result,
+        )
+
+
+def router_comparison(scenario, batching) -> None:
+    header("2. Routers on a thin fabric (8 nodes, 25 GbE, replication 2)")
+    for router in ("round-robin", "least-loaded", "locality"):
+        cluster = build_cluster(
+            KAGGLE, 8, router=router, replication=2,
+            link=CLUSTER_LINKS["eth-25g"], **batching,
+        )
+        row(router, cluster.run(scenario))
+
+
+def fabric_sweep(scenario, batching) -> None:
+    header("3. Fabrics (8 nodes, locality router, replication 2)")
+    for name, link in CLUSTER_LINKS.items():
+        cluster = build_cluster(
+            KAGGLE, 8, router="locality", replication=2, link=link, **batching,
+        )
+        row(name, cluster.run(scenario))
+
+
+def failover_drill(scenario, batching) -> None:
+    header("4. Failover: node 1 dies mid-run (4 nodes, locality router)")
+    fail_at = scenario.queries.queries[len(scenario.queries) // 2].arrival_s
+    for replication in (2, 1):
+        cluster = build_cluster(
+            KAGGLE, 4, router="locality", replication=replication,
+            fail_at=fail_at, fail_node=1, **batching,
+        )
+        result = cluster.run(scenario)
+        row(f"replication={replication}", result)
+        print(
+            f"{'':26s} rerouted={result.rerouted} lost={result.lost} "
+            f"edge_drops={result.edge_drops} "
+            f"wasted={result.wasted_energy_j:.2f} J"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--queries", type=int, default=4000)
+    args = parser.parse_args()
+
+    scenario = ServingScenario.paper_default(
+        n_queries=args.queries, qps=250_000.0
+    )
+    batching = dict(max_batch_size=32, batch_timeout_s=0.0005)
+    scale_out_sweep(scenario, batching)
+    router_comparison(scenario, batching)
+    fabric_sweep(scenario, batching)
+    failover_drill(scenario, batching)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Fail on broken relative links in README.md and docs/*.md.
+
+Scans markdown inline links and reference definitions, skips absolute
+URLs (http/https/mailto) and pure in-page anchors, resolves everything
+else against the containing file's directory, and exits non-zero listing
+every target that does not exist.
+
+    python scripts/check_links.py [file-or-dir ...]   # default: README.md docs/
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Inline [text](target) links; reference definitions are rare enough here
+# that inline coverage is the job.  Images (![alt](target)) match too.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown(paths: list[str]) -> list[pathlib.Path]:
+    if not paths:
+        candidates = [ROOT / "README.md", ROOT / "docs"]
+    else:
+        candidates = [pathlib.Path(p) for p in paths]
+    files: list[pathlib.Path] = []
+    for candidate in candidates:
+        if candidate.is_dir():
+            files.extend(sorted(candidate.glob("**/*.md")))
+        elif candidate.exists():
+            files.append(candidate)
+        else:
+            print(f"warning: {candidate} does not exist", file=sys.stderr)
+    return files
+
+
+def broken_links(markdown: pathlib.Path) -> list[tuple[int, str]]:
+    broken = []
+    for lineno, line in enumerate(markdown.read_text().splitlines(), start=1):
+        for target in _LINK.findall(line):
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (markdown.parent / path).resolve()
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    files = iter_markdown(argv)
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for markdown in files:
+        for lineno, target in broken_links(markdown):
+            rel = markdown.relative_to(ROOT) if markdown.is_relative_to(ROOT) else markdown
+            print(f"{rel}:{lineno}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"\n{failures} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

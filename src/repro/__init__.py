@@ -7,7 +7,7 @@ execution paths to maximize throughput of correct predictions under SLA
 latency targets.
 
 Top-level convenience imports cover the quickstart path; subpackages hold
-the full API (see DESIGN.md for the system inventory).
+the full API (see docs/architecture.md for the package-by-package tour).
 """
 
 __version__ = "1.0.0"

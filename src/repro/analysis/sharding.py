@@ -40,9 +40,7 @@ class ShardingPlan:
     def lookup_fanout(self) -> float:
         """Nodes touched per sample (one lookup per feature; row-wise
         shards hit one node per lookup, chosen by row ID)."""
-        nodes_per_feature = [
-            {node for node, _ in slices} for slices in self.assignment
-        ]
+        nodes_per_feature = self.feature_nodes()
         # One sample's 26 lookups land on the union of the hosting nodes;
         # for row-wise sharded features any single node may be hit, so count
         # them as one node per lookup (expected fan-out contribution 1).
@@ -52,6 +50,11 @@ class ShardingPlan:
                 all_nodes |= nodes
         row_wise = sum(1 for nodes in nodes_per_feature if len(nodes) > 1)
         return min(self.n_nodes, len(all_nodes) + row_wise)
+
+    def feature_nodes(self) -> list[set[int]]:
+        """Nodes hosting (any slice of) each feature — table-wise features
+        live on one node, row-split features on every node they span."""
+        return [{node for node, _ in slices} for slices in self.assignment]
 
     def alltoall_bytes_per_sample(self) -> int:
         """Embedding bytes a sample pulls from remote nodes (worst case:

@@ -40,6 +40,13 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _non_negative_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return parsed
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="MP-Rec reproduction toolkit"
@@ -88,6 +95,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--streaming", action="store_true",
         help="constant-memory metrics (for very large --queries)",
+    )
+    serve.add_argument(
+        "--nodes", type=_positive_int, default=1,
+        help="cluster size; >1 serves through the multi-node simulator",
+    )
+    serve.add_argument(
+        "--router", default="round-robin",
+        choices=["round-robin", "least-loaded", "locality"],
+        help="cluster query router (--nodes > 1)",
+    )
+    serve.add_argument(
+        "--replication", type=_positive_int, default=1,
+        help="shard replicas per group; >= 2 survives a node failure",
+    )
+    serve.add_argument(
+        "--fail-at", type=float, default=None, metavar="SECONDS",
+        help="kill --fail-node at this simulation time (failover drill)",
+    )
+    serve.add_argument("--fail-node", type=int, default=0)
+    serve.add_argument(
+        "--max-queue", type=_non_negative_int, default=0,
+        help="per-node backpressure bound on outstanding queries (0 = off)",
+    )
+    serve.add_argument(
+        "--link", default="eth-100g", choices=["eth-25g", "eth-100g", "rdma-100g"],
+        help="inter-node fabric pricing the embedding all-to-all",
     )
 
     char = sub.add_parser("characterize", help="operator breakdowns")
@@ -150,6 +183,42 @@ def cmd_serve(args) -> int:
         args.arrivals, n_queries=args.queries, qps=args.qps,
         sla_s=args.sla_ms / 1e3, seed=args.seed,
     )
+    if args.nodes > 1:
+        if args.replication > args.nodes:
+            print(
+                f"error: --replication {args.replication} exceeds "
+                f"--nodes {args.nodes}", file=sys.stderr,
+            )
+            return 2
+        if args.fail_at is not None and not 0 <= args.fail_node < args.nodes:
+            print(
+                f"error: --fail-node {args.fail_node} out of range for "
+                f"--nodes {args.nodes}", file=sys.stderr,
+            )
+            return 2
+        if args.fail_at is None and args.fail_node != 0:
+            print(
+                "error: --fail-node requires --fail-at (no failure is "
+                "simulated otherwise)", file=sys.stderr,
+            )
+            return 2
+        return _serve_cluster(args, config, scenario)
+    # Cluster-only flags must not be silently ignored on a 1-node run.
+    cluster_flags = [
+        ("--fail-at", args.fail_at is not None),
+        ("--fail-node", args.fail_node != 0),
+        ("--replication", args.replication > 1),
+        ("--max-queue", args.max_queue > 0),
+        ("--router", args.router != "round-robin"),
+        ("--link", args.link != "eth-100g"),
+    ]
+    ignored = [flag for flag, used in cluster_flags if used]
+    if ignored:
+        print(
+            f"error: {', '.join(ignored)} require(s) --nodes > 1",
+            file=sys.stderr,
+        )
+        return 2
     results = run_serving_comparison(
         config, scenario, subset=(args.scheduler,),
         shed_policy=args.shed_policy, max_batch_size=args.max_batch,
@@ -166,6 +235,40 @@ def cmd_serve(args) -> int:
     print(f"p99 latency            : {result.p99_latency_s * 1e3:.2f} ms")
     for label, share in result.switching_breakdown().items():
         print(f"  {label:16s} {share * 100:5.1f}%")
+    return 0
+
+
+def _serve_cluster(args, config, scenario) -> int:
+    from repro.experiments.setup import run_cluster_serving
+    from repro.hardware.topology import CLUSTER_LINKS
+
+    cluster = run_cluster_serving(
+        config, scenario, n_nodes=args.nodes, scheduler=args.scheduler,
+        router=args.router, replication=args.replication,
+        link=CLUSTER_LINKS[args.link], shed_policy=args.shed_policy,
+        max_batch_size=args.max_batch,
+        batch_timeout_s=args.batch_timeout_ms / 1e3,
+        max_queue=args.max_queue, fail_at=args.fail_at,
+        fail_node=args.fail_node, streaming=args.streaming,
+    )
+    result = cluster.result
+    print(f"cluster                : {args.nodes} nodes, {args.router} router, "
+          f"replication {args.replication}, {args.link}")
+    print(f"scheduler              : {args.scheduler}")
+    print(f"correct predictions/s  : {result.correct_prediction_throughput:,.0f}")
+    print(f"raw samples/s          : {result.raw_throughput:,.0f}")
+    print(f"served accuracy        : {result.mean_accuracy:.3f}%")
+    print(f"SLA violations         : {result.violation_rate * 100:.2f}%")
+    print(f"shed (dropped)         : {result.drop_rate * 100:.2f}%")
+    print(f"p99 latency            : {result.p99_latency_s * 1e3:.2f} ms")
+    served = ", ".join(str(n) for n in cluster.per_node_served)
+    print(f"per-node served        : [{served}]")
+    if cluster.failed_nodes:
+        print(f"failed nodes           : {cluster.failed_nodes}")
+        print(f"rerouted / lost        : {cluster.rerouted} / {cluster.lost}")
+        print(f"wasted energy          : {cluster.wasted_energy_j:.2f} J")
+    if cluster.edge_drops:
+        print(f"edge drops             : {cluster.edge_drops}")
     return 0
 
 

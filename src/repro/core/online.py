@@ -1,11 +1,20 @@
 """MP-Rec online stage: dynamic multi-path activation (Algorithm 2).
 
-Given the offline plan's execution paths, each arriving query is routed to
+Given the offline plan's execution paths, each unit of work is routed to
 the highest-quality path that can finish within the SLA latency target
 *without throughput degradation* — i.e. accounting for the queue already on
 the candidate's device. Preference order: hybrid, then DHE, then table; if
 nothing meets the SLA the scheduler defaults to the fastest table path so
 throughput is preserved (Section 4.2).
+
+The event-driven engine (:class:`~repro.serving.simulator.ServingSimulator`)
+calls :meth:`Scheduler.select_batch` once per coalesced micro-batch — the
+default forwards to the per-query :meth:`Scheduler.select`, which is exactly
+the per-query decision when batching is disabled — and notifies
+:meth:`Scheduler.on_batch_dispatched` after placement so stateful
+subclasses can track in-flight load. Admission control (shedding) is *not*
+the scheduler's job: it lives in :mod:`repro.serving.policies` and runs
+after routing, when the projected wait and service time are known.
 """
 
 from __future__ import annotations

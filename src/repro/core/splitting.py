@@ -98,6 +98,10 @@ def simulate_split_serving(
     concurrently and the query completes when the slower half does), so
     splitting halves per-device load but couples the two queues — the
     serving-level version of Figure 14.
+
+    This deliberately keeps its own tiny per-query loop instead of going
+    through the event engine: a split query holds two devices at once,
+    which the engine's one-path-per-batch dispatch does not model.
     """
     from repro.serving.metrics import QueryRecord, ServingResult
 

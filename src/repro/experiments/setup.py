@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.sharding import greedy_shard
 from repro.core.mp_cache import CacheEffect, DecoderCentroidCache, EncoderCache
 from repro.core.offline import MappingPlan, OfflinePlanner
 from repro.core.online import (
@@ -23,9 +24,12 @@ from repro.core.representations import RepresentationConfig, paper_configs
 from repro.data.zipf import ZipfSampler
 from repro.hardware.catalog import CPU_BROADWELL, GPU_V100
 from repro.hardware.device import GB, MB, DeviceSpec
+from repro.hardware.topology import ETHERNET_100G, LinkSpec
 from repro.models.configs import KAGGLE, TERABYTE, ModelConfig
 from repro.quality.estimator import QualityEstimator
+from repro.serving.cluster import ClusterResult, ClusterSimulator
 from repro.serving.metrics import ServingResult
+from repro.serving.routing import Router
 from repro.serving.simulator import ServingSimulator
 from repro.serving.workload import ServingScenario
 
@@ -196,3 +200,54 @@ def run_serving_comparison(
             sim.run_streaming(scenario) if streaming else sim.run(scenario)
         )
     return results
+
+
+def build_cluster(
+    model: ModelConfig,
+    n_nodes: int,
+    scheduler: str = "mp-rec",
+    router: str | Router = "round-robin",
+    replication: int = 1,
+    link: LinkSpec = ETHERNET_100G,
+    devices: list[DeviceSpec] | None = None,
+    with_cache: bool = True,
+    **cluster_kwargs,
+) -> ClusterSimulator:
+    """Assemble a serving cluster: every node runs the named scheduler's
+    paths on its own HW-1 replica, and the model's tables are greedy-LPT
+    sharded (:func:`~repro.analysis.sharding.greedy_shard`) across nodes.
+
+    ``cluster_kwargs`` forward to :class:`~repro.serving.cluster.
+    ClusterSimulator` (``shed_policy``, ``max_batch_size``, ``max_queue``,
+    ``fail_at``, ``fail_node``, ``hot_fraction``, ...).
+    """
+    schedulers = build_schedulers(model, devices, with_cache=with_cache)
+    if scheduler not in schedulers:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; have {sorted(schedulers)}"
+        )
+    plan = greedy_shard(model.cardinalities, model.embedding_dim, n_nodes)
+    return ClusterSimulator(
+        schedulers[scheduler], plan, router=router, replication=replication,
+        link=link, **cluster_kwargs,
+    )
+
+
+def run_cluster_serving(
+    model: ModelConfig,
+    scenario: ServingScenario | None = None,
+    n_nodes: int = 2,
+    scheduler: str = "mp-rec",
+    router: str | Router = "round-robin",
+    replication: int = 1,
+    streaming: bool = False,
+    **kwargs,
+) -> ClusterResult:
+    """Run one scenario through a multi-node cluster; the cluster analogue
+    of :func:`run_serving_comparison` for a single scheduler."""
+    scenario = scenario or ServingScenario.paper_default()
+    cluster = build_cluster(
+        model, n_nodes, scheduler=scheduler, router=router,
+        replication=replication, **kwargs,
+    )
+    return cluster.run_streaming(scenario) if streaming else cluster.run(scenario)

@@ -1,9 +1,10 @@
 """Device catalog parameterized by the paper's Table 1.
 
 Peak FLOPs are derived from public specs (Broadwell AVX2, V100 FP32, TPUv3
-bf16, GC200 FP32-equivalent); efficiencies and per-query overheads are the
-single calibration pass described in DESIGN.md. These constants are fixed
-here and nowhere else — benchmarks consume the resulting model untouched.
+bf16, GC200 FP32-equivalent); efficiencies and per-query overheads are a
+single calibration pass against the paper's reported operator breakdowns
+(see docs/architecture.md). These constants are fixed here and nowhere
+else — benchmarks consume the resulting model untouched.
 
 Calibration notes (how the paper's observations emerge):
 

@@ -1,4 +1,5 @@
-"""Multi-chip placement strategies (Figure 6, Section 3.4).
+"""Multi-chip placement strategies and cluster interconnect costs
+(Figure 6, Sections 3.4 and 6.9).
 
 ``plan_ipu_placement`` reproduces the paper's Figure 6 decision tree for a
 given model footprint: a model that fits one chip's 900 MB scratchpad is
@@ -8,6 +9,13 @@ board plan replicated across the pod; one that only fits the pod's combined
 SRAM is sharded (each chip a unique shard — no data parallelism, the
 Terabyte table/hybrid limitation of Insight 6); anything larger spills to
 Streaming Memory.
+
+:class:`LinkSpec` extends the same cost vocabulary across *nodes*: a
+sharded serving cluster pays an all-to-all embedding exchange on every
+query batch, and the link's (alpha = per-message latency, beta = inverse
+bandwidth) pair prices that exchange. ``alltoall_exchange_time`` is the
+standard (p-1)·alpha + bytes·beta personalized-exchange model used by
+:mod:`repro.serving.cluster`.
 """
 
 from __future__ import annotations
@@ -15,6 +23,57 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.hardware.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One inter-node link class: per-message latency + per-node bandwidth."""
+
+    name: str
+    bandwidth: float  # bytes/s in or out of one node
+    latency_s: float  # one-way per-message latency (alpha term)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Point-to-point time for one message of ``nbytes``."""
+        if nbytes <= 0:
+            return 0.0
+        return self.latency_s + nbytes / self.bandwidth
+
+
+# Scale-out fabrics a recommendation fleet actually deploys on.  Bandwidths
+# are per-node payload rates (25/100 GbE at ~line rate); RDMA shaves the
+# per-message software latency by an order of magnitude.
+ETHERNET_25G = LinkSpec(name="eth-25g", bandwidth=3.125e9, latency_s=20e-6)
+ETHERNET_100G = LinkSpec(name="eth-100g", bandwidth=12.5e9, latency_s=15e-6)
+RDMA_100G = LinkSpec(name="rdma-100g", bandwidth=12.5e9, latency_s=2e-6)
+
+CLUSTER_LINKS = {
+    link.name: link for link in (ETHERNET_25G, ETHERNET_100G, RDMA_100G)
+}
+
+
+def alltoall_exchange_time(
+    remote_bytes: float, n_participants: int, link: LinkSpec
+) -> float:
+    """Time for one node to complete a personalized all-to-all round.
+
+    ``remote_bytes`` is the payload this node pulls from its peers; the
+    alpha term pays one message setup per remote peer ((p-1)·latency), the
+    beta term streams the payload at the node's link bandwidth.  Zero when
+    the node is alone or needs nothing remote — a single-node "cluster"
+    degenerates to the plain engine.
+    """
+    if n_participants < 1:
+        raise ValueError("n_participants must be >= 1")
+    if n_participants == 1 or remote_bytes <= 0:
+        return 0.0
+    return (n_participants - 1) * link.latency_s + remote_bytes / link.bandwidth
 
 
 @dataclass(frozen=True)

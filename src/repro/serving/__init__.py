@@ -1,5 +1,28 @@
-"""Event-driven query-serving simulation (Sections 5.3-6.8)."""
+"""Event-driven query-serving simulation, single-node and clustered
+(Sections 5.3-6.9).
 
+Entry points and the knobs they share:
+
+- :class:`ServingSimulator` — one node.  ``shed_policy`` (``"none"`` /
+  ``"drop-late"`` / ``"deadline-aware"`` or a :class:`ShedPolicy`) governs
+  admission at dispatch; ``max_batch_size`` / ``batch_timeout_s`` govern
+  micro-batch coalescing (1 / 0.0 reproduces the per-query reference loop).
+- :class:`ClusterSimulator` — N nodes behind a :mod:`~repro.serving.routing`
+  router, with shard replication, link-priced all-to-all exchange,
+  backpressure (``max_queue``) and failover (``fail_at`` / ``fail_node``).
+- Both report through either exact record-backed :class:`ServingResult`
+  (``run``) or constant-memory :class:`StreamingMetrics`
+  (``run_streaming``); the two share one metric vocabulary.
+
+See docs/serving.md and docs/cluster.md for the guided tour.
+"""
+
+from repro.serving.cluster import (
+    ClusterNode,
+    ClusterResult,
+    ClusterSimulator,
+    ShardMap,
+)
 from repro.serving.metrics import (
     P2Quantile,
     QueryRecord,
@@ -14,22 +37,38 @@ from repro.serving.policies import (
     ShedPolicy,
     make_policy,
 )
+from repro.serving.routing import (
+    LeastLoadedRouter,
+    Router,
+    RoundRobinRouter,
+    ShardLocalityRouter,
+    make_router,
+)
 from repro.serving.simulator import ReferenceSimulator, ServingSimulator
 from repro.serving.workload import ServingScenario, TenantSpec
 
 __all__ = [
+    "ClusterNode",
+    "ClusterResult",
+    "ClusterSimulator",
     "DeadlineAware",
     "DropLate",
+    "LeastLoadedRouter",
     "NoShed",
     "P2Quantile",
     "QueryRecord",
     "ReferenceSimulator",
     "ReservoirSampler",
+    "Router",
+    "RoundRobinRouter",
     "ServingResult",
     "ServingScenario",
     "ServingSimulator",
+    "ShardLocalityRouter",
+    "ShardMap",
     "ShedPolicy",
     "StreamingMetrics",
     "TenantSpec",
     "make_policy",
+    "make_router",
 ]

@@ -1,0 +1,492 @@
+"""Multi-node serving cluster: N event-driven node engines behind a router.
+
+PR 1 made one node fast; production fleets (Section 6.9) shard the
+embedding tables across *nodes* and load-balance queries over them.  This
+module turns the repo's static placement machinery into a running
+simulation: a :class:`~repro.analysis.sharding.ShardingPlan` says where
+table shards live, :mod:`repro.hardware.topology` link costs price the
+all-to-all embedding exchange each batch pays, and a pluggable
+:mod:`~repro.serving.routing` router decides which node serves each query.
+
+The data/locality model (:class:`ShardMap`):
+
+- Every sample gathers ``n_features x dim x 4`` bytes of embeddings.
+- A ``hot_fraction`` share of that gather hits *user-partitioned* tables:
+  each query's user rows hash to one shard group (``group_of``), and a
+  node serves them locally iff it replicates that group.  This is the
+  production user-sharding pattern that makes request routing matter.
+- The cold remainder (item-side tables) is placed by the sharding plan; a
+  node serves locally whatever features it hosts, roughly ``replication /
+  n_nodes`` of the cold bytes.
+- Whatever is not local crosses the cluster fabric once per batch as a
+  personalized all-to-all, priced by ``(p-1) * alpha + bytes * beta``
+  (:func:`~repro.hardware.topology.alltoall_exchange_time`) and added to
+  the batch's service time.
+
+Replication chains each shard group onto the ``replication`` nodes that
+follow its anchor, so ``replication >= 2`` survives any single node
+failure.  A failure (``fail_at`` / ``fail_node``) kills the node
+mid-simulation: its admission queue and in-flight batches are re-injected
+at the failure instant and re-routed to surviving replicas (energy already
+burned on the lost batches is tallied as ``wasted_energy_j``).  With
+``replication == 1`` the dead node's shards are simply gone — displaced
+*and* subsequent queries drop, the blunt lesson that sharded serving
+without replication has no fault story.
+
+Backpressure: ``max_queue`` bounds each node's outstanding queries
+(admission queue + dispatched batches).  Full nodes are withheld from the
+router; if every node is full the query is shed at the cluster edge and
+recorded as dropped.
+
+A 1-node cluster reproduces :class:`~repro.serving.simulator.
+ServingSimulator` record-for-record (zero exchange, trivial routing) —
+pinned in ``tests/unit/test_cluster.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.analysis.sharding import ShardingPlan
+from repro.core.online import Scheduler
+from repro.data.queries import Query
+from repro.hardware.topology import (
+    ETHERNET_100G,
+    LinkSpec,
+    alltoall_exchange_time,
+)
+from repro.serving.metrics import ServingResult, StreamingMetrics
+from repro.serving.policies import ShedPolicy, make_policy
+from repro.serving.routing import Router, make_router
+from repro.serving.simulator import (
+    _RecordSink,
+    _StreamingSink,
+    apportion_energy,
+    query_energy,
+    shed_batch,
+)
+from repro.serving.workload import ServingScenario
+
+_ARRIVAL = 0
+_FLUSH = 1
+_FINISH = 2
+_FAIL = 3
+
+_KNUTH = 2654435761  # multiplicative hash for query -> shard group
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Shard-group ownership + per-sample remote-byte model for a cluster."""
+
+    n_nodes: int
+    replication: int
+    hot_fraction: float
+    bytes_per_sample: int
+    # owners[g] = nodes replicating shard group g (anchor g + successors).
+    owners: tuple[frozenset[int], ...]
+    # cold_local_share[n] = fraction of item-side bytes node n hosts locally.
+    cold_local_share: tuple[float, ...]
+
+    @classmethod
+    def from_plan(
+        cls,
+        plan: ShardingPlan,
+        replication: int = 1,
+        hot_fraction: float = 0.5,
+    ) -> "ShardMap":
+        n = plan.n_nodes
+        if not 1 <= replication <= n:
+            raise ValueError("replication must be in [1, n_nodes]")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        owners = tuple(
+            frozenset((g + k) % n for k in range(replication)) for g in range(n)
+        )
+        # A node hosts a feature's bytes locally in proportion to the rows
+        # it holds: a table-wise feature is fully local to its replicas,
+        # while a row-split feature is local only for the row range each
+        # node carries (a lookup's row lands locally with that fraction).
+        # Replication chains slices the same way it chains groups.
+        n_features = len(plan.assignment)
+        feature_bytes = plan.dim * 4
+        local_bytes = [0.0] * n
+        for slices in plan.assignment:
+            total_rows = sum(rows for _, rows in slices)
+            if total_rows == 0:
+                continue
+            for node, rows in slices:
+                share = feature_bytes * rows / total_rows
+                for k in range(replication):
+                    local_bytes[(node + k) % n] += share
+        total = max(1, n_features * feature_bytes)
+        return cls(
+            n_nodes=n,
+            replication=replication,
+            hot_fraction=hot_fraction,
+            bytes_per_sample=n_features * feature_bytes,
+            owners=owners,
+            cold_local_share=tuple(b / total for b in local_bytes),
+        )
+
+    def group_of(self, query: Query) -> int:
+        """The shard group holding this query's user-partitioned rows."""
+        return ((query.index * _KNUTH) & 0xFFFFFFFF) % self.n_nodes
+
+    def remote_bytes_per_sample(self, node_id: int, group: int) -> float:
+        """Embedding bytes one sample pulls over the fabric when served
+        on ``node_id`` with its hot rows in ``group``."""
+        hot = self.hot_fraction * self.bytes_per_sample
+        cold = self.bytes_per_sample - hot
+        hot_remote = 0.0 if node_id in self.owners[group] else hot
+        return hot_remote + cold * (1.0 - self.cold_local_share[node_id])
+
+    def coverage_ok(self, alive: set[int]) -> bool:
+        """True while every shard group keeps at least one alive replica."""
+        return all(owner_set & alive for owner_set in self.owners)
+
+
+@dataclass
+class _InFlight:
+    """One dispatched batch awaiting its finish event."""
+
+    queries: list[Query]
+    outcomes: list[tuple]
+    energy_j: float
+
+
+class ClusterNode:
+    """One node's engine state: admission queue, flush arming, server pools."""
+
+    def __init__(self, node_id: int, scheduler: Scheduler, max_queue: int = 0) -> None:
+        self.node_id = node_id
+        self.scheduler = scheduler
+        self.max_queue = max_queue
+        self.free_at: dict[str, list[float]] = {
+            path.device.name: [0.0] * path.device.concurrency
+            for path in scheduler.paths
+        }
+        self.pending: list[Query] = []
+        self.generation = 0
+        self.armed = False
+        self.alive = True
+        self.in_flight: dict[int, _InFlight] = {}
+        self.inflight_queries = 0  # admission queue + dispatched, unfinished
+
+    @property
+    def full(self) -> bool:
+        return self.max_queue > 0 and self.inflight_queries >= self.max_queue
+
+    def earliest_free_delay(self, now: float) -> float:
+        earliest = min(min(pool) for pool in self.free_at.values())
+        return max(0.0, earliest - now)
+
+
+@dataclass
+class ClusterResult:
+    """A cluster run: merged serving metrics plus fleet-level accounting."""
+
+    result: ServingResult | StreamingMetrics
+    n_nodes: int
+    router: str
+    replication: int
+    per_node_served: list[int]
+    per_node_dropped: list[int]
+    rerouted: int = 0  # queries re-homed by failover
+    lost: int = 0  # displaced queries unservable (replication too low)
+    edge_drops: int = 0  # shed at the cluster edge (backpressure / coverage)
+    failed_nodes: list[int] = field(default_factory=list)
+    wasted_energy_j: float = 0.0
+
+    def summary(self) -> dict[str, float]:
+        merged = dict(self.result.summary())
+        merged.update(
+            n_nodes=self.n_nodes,
+            rerouted=self.rerouted,
+            lost=self.lost,
+            edge_drops=self.edge_drops,
+            wasted_energy_j=self.wasted_energy_j,
+        )
+        return merged
+
+
+class ClusterSimulator:
+    """Compose N per-node event engines behind a router.
+
+    ``scheduler``: one :class:`~repro.core.online.Scheduler` shared by every
+    node (safe — the built-in schedulers are stateless given ``free_at``),
+    or a sequence of per-node scheduler instances for stateful subclasses.
+
+    ``plan``: the :class:`~repro.analysis.sharding.ShardingPlan` placing the
+    model's tables; ``plan.n_nodes`` fixes the cluster size.
+
+    ``router``: ``"round-robin"`` | ``"least-loaded"`` | ``"locality"`` or a
+    :class:`~repro.serving.routing.Router` instance.
+
+    ``shed_policy`` / ``max_batch_size`` / ``batch_timeout_s`` mirror the
+    single-node :class:`~repro.serving.simulator.ServingSimulator` and apply
+    per node.  ``max_queue`` bounds each node's outstanding queries (0 =
+    unbounded).  ``fail_at`` / ``fail_node`` schedule one node failure.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler | list[Scheduler],
+        plan: ShardingPlan,
+        router: str | Router = "round-robin",
+        replication: int = 1,
+        link: LinkSpec = ETHERNET_100G,
+        hot_fraction: float = 0.5,
+        shed_policy: str | ShedPolicy = "none",
+        max_batch_size: int = 1,
+        batch_timeout_s: float = 0.0,
+        max_queue: int = 0,
+        fail_at: float | None = None,
+        fail_node: int = 0,
+        track_energy: bool = True,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if batch_timeout_s < 0:
+            raise ValueError("batch_timeout_s must be non-negative")
+        if max_queue < 0:
+            raise ValueError("max_queue must be non-negative")
+        n_nodes = plan.n_nodes
+        if isinstance(scheduler, Scheduler):
+            schedulers = [scheduler] * n_nodes
+        else:
+            schedulers = list(scheduler)
+            if len(schedulers) != n_nodes:
+                raise ValueError(
+                    f"need one scheduler per node: got {len(schedulers)} "
+                    f"for {n_nodes} nodes"
+                )
+        if fail_at is not None and not 0 <= fail_node < n_nodes:
+            raise ValueError("fail_node out of range")
+        self.plan = plan
+        self.shard_map = ShardMap.from_plan(plan, replication, hot_fraction)
+        self._router_spec = router
+        self.schedulers = schedulers
+        self.link = link
+        self.policy = make_policy(shed_policy)
+        self.max_batch_size = max_batch_size
+        self.batch_timeout_s = batch_timeout_s
+        self.max_queue = max_queue
+        self.fail_at = fail_at
+        self.fail_node = fail_node
+        self.track_energy = track_energy
+        self.scheduler_name = schedulers[0].name
+
+    # ---- public entry points ---------------------------------------------
+
+    def run(self, scenario: ServingScenario) -> ClusterResult:
+        """Simulate and return exact, record-backed cluster metrics."""
+        sink = _RecordSink(self.scheduler_name, scenario.sla_s)
+        return self._simulate(scenario, sink)
+
+    def run_streaming(self, scenario: ServingScenario) -> ClusterResult:
+        """Simulate with constant-memory merged metrics (O(1) per query)."""
+        sink = _StreamingSink(self.scheduler_name, scenario.sla_s)
+        return self._simulate(scenario, sink)
+
+    # ---- event loop ------------------------------------------------------
+
+    def _simulate(self, scenario: ServingScenario, sink) -> ClusterResult:
+        nodes = [
+            ClusterNode(i, sched, self.max_queue)
+            for i, sched in enumerate(self.schedulers)
+        ]
+        router = make_router(self._router_spec, shard_map=self.shard_map)
+        router.reset()
+        cluster = ClusterResult(
+            result=sink.result,
+            n_nodes=len(nodes),
+            router=router.name,
+            replication=self.shard_map.replication,
+            per_node_served=[0] * len(nodes),
+            per_node_dropped=[0] * len(nodes),
+        )
+        alive_ids = set(range(len(nodes)))
+        coverage_ok = True
+        # Indices of failure-displaced queries awaiting re-admission; a
+        # query only counts as rerouted once a surviving node accepts it
+        # (a re-injection shed at the edge is an edge drop, not a reroute).
+        reinjected: set[int] = set()
+
+        arrivals = sorted(scenario.queries, key=lambda q: q.arrival_s)
+        events: list[tuple] = [
+            (q.arrival_s, i, _ARRIVAL, q) for i, q in enumerate(arrivals)
+        ]
+        seq = len(events)
+        if self.fail_at is not None:
+            events.append((self.fail_at, seq, _FAIL, self.fail_node))
+            seq += 1
+        heapq.heapify(events)
+
+        while events:
+            time, event_seq, kind, payload = heapq.heappop(events)
+
+            if kind == _ARRIVAL:
+                query = payload
+                candidates = [n for n in nodes if n.alive and not n.full]
+                if not candidates or not coverage_ok:
+                    reinjected.discard(query.index)
+                    self._drop(query, scenario, sink)
+                    cluster.edge_drops += 1
+                    continue
+                node = router.select_node(query, time, candidates)
+                if query.index in reinjected:
+                    reinjected.discard(query.index)
+                    cluster.rerouted += 1
+                node.pending.append(query)
+                node.inflight_queries += 1
+                if len(node.pending) >= self.max_batch_size:
+                    seq = self._dispatch(
+                        node, time, scenario, sink, cluster, alive_ids,
+                        events, seq,
+                    )
+                elif not node.armed:
+                    heapq.heappush(
+                        events,
+                        (
+                            time + self.batch_timeout_s, seq, _FLUSH,
+                            (node.node_id, node.generation),
+                        ),
+                    )
+                    seq += 1
+                    node.armed = True
+
+            elif kind == _FLUSH:
+                node_id, generation = payload
+                node = nodes[node_id]
+                if node.alive and generation == node.generation and node.pending:
+                    seq = self._dispatch(
+                        node, time, scenario, sink, cluster, alive_ids,
+                        events, seq,
+                    )
+
+            elif kind == _FINISH:
+                node = nodes[payload]
+                batch = node.in_flight.pop(event_seq, None)
+                if batch is None:
+                    continue  # invalidated by a failure
+                for outcome in batch.outcomes:
+                    sink.observe(*outcome)
+                node.inflight_queries -= len(batch.queries)
+                cluster.per_node_served[payload] += len(batch.queries)
+
+            elif kind == _FAIL:
+                node = nodes[payload]
+                if not node.alive:
+                    continue
+                node.alive = False
+                alive_ids.discard(payload)
+                cluster.failed_nodes.append(payload)
+                coverage_ok = bool(alive_ids) and self.shard_map.coverage_ok(
+                    alive_ids
+                )
+                displaced = list(node.pending)
+                for batch in node.in_flight.values():
+                    displaced.extend(batch.queries)
+                    cluster.wasted_energy_j += batch.energy_j
+                node.pending = []
+                node.in_flight = {}
+                node.inflight_queries = 0
+                node.armed = False
+                if coverage_ok:
+                    # Surviving replicas hold every shard: re-inject the
+                    # displaced queries at the failure instant for re-routing.
+                    for query in displaced:
+                        reinjected.add(query.index)
+                        heapq.heappush(events, (time, seq, _ARRIVAL, query))
+                        seq += 1
+                else:
+                    cluster.lost += len(displaced)
+                    for query in displaced:
+                        self._drop(query, scenario, sink)
+
+        return cluster
+
+    # ---- helpers ---------------------------------------------------------
+
+    def _drop(self, query: Query, scenario, sink) -> None:
+        sink.observe(
+            query.index, query.size, query.arrival_s, query.arrival_s,
+            query.arrival_s, "DROPPED", 0.0, 0.0, True,
+            scenario.sla_for(query),
+        )
+
+    def _exchange_s(self, node: ClusterNode, batch, n_alive: int) -> float:
+        remote = sum(
+            q.size
+            * self.shard_map.remote_bytes_per_sample(
+                node.node_id, self.shard_map.group_of(q)
+            )
+            for q in batch
+        )
+        return alltoall_exchange_time(remote, n_alive, self.link)
+
+    def _dispatch(
+        self, node: ClusterNode, now: float, scenario, sink,
+        cluster: ClusterResult, alive_ids: set[int], events: list, seq: int,
+    ) -> int:
+        batch = node.pending
+        node.pending = []
+        node.generation += 1
+        node.armed = False
+
+        total_size = sum(q.size for q in batch)
+        decision = node.scheduler.select_batch(
+            total_size, scenario.sla_s, now, node.free_at
+        )
+        path = decision.path
+        servers = node.free_at[path.device.name]
+        server = min(range(len(servers)), key=servers.__getitem__)
+        projected_start = max(now, servers[server])
+        exchange_s = self._exchange_s(node, batch, len(alive_ids))
+
+        def on_shed(query, sla_q):
+            self._drop(query, scenario, sink)
+            node.inflight_queries -= 1
+            cluster.per_node_dropped[node.node_id] += 1
+
+        admitted = shed_batch(
+            self.policy, batch, projected_start,
+            decision.service_s + exchange_s, scenario, on_shed,
+        )
+        if not admitted:
+            return seq
+
+        admitted_size = total_size
+        compute_s = decision.service_s
+        if len(admitted) != len(batch):
+            admitted_size = sum(q.size for q in admitted)
+            compute_s = path.latency(admitted_size)
+            exchange_s = self._exchange_s(node, admitted, len(alive_ids))
+        service_s = compute_s + exchange_s
+        start = projected_start
+        finish = start + service_s
+        servers[server] = finish
+        node.scheduler.on_batch_dispatched(path, admitted_size, start, finish)
+
+        batch_energy = 0.0
+        if self.track_energy:
+            # Energy covers the device pass; the fabric exchange is priced
+            # in time only (NIC power is negligible next to the device TDP).
+            batch_energy = query_energy(path, admitted_size, compute_s)
+        outcomes = []
+        for query in admitted:
+            energy = apportion_energy(
+                batch_energy, query.size, len(admitted), admitted_size
+            )
+            outcomes.append((
+                query.index, query.size, query.arrival_s, start, finish,
+                path.label, path.accuracy, energy, False,
+                scenario.sla_for(query),
+            ))
+        node.in_flight[seq] = _InFlight(
+            queries=admitted, outcomes=outcomes, energy_j=batch_energy
+        )
+        heapq.heappush(events, (finish, seq, _FINISH, node.node_id))
+        return seq + 1

@@ -16,7 +16,11 @@ Dropped (shed) queries count toward ``violation_rate`` and ``drop_rate``
 but are **excluded from latency percentiles** in both modes: a shed query
 was never answered, so it has no latency — folding its ``finish == arrival``
 record in would inject 0 s samples and make overloaded runs look *faster*
-the more they drop.
+the more they drop. For the same reason they are excluded from
+``total_samples`` (and therefore ``raw_throughput`` and
+``mean_accuracy``): a dropped query's samples were never served, and
+counting them while the makespan shrinks would make a failing,
+drop-heavy cluster report *higher* samples/s than a healthy one.
 """
 
 from __future__ import annotations
@@ -72,7 +76,8 @@ class ServingResult:
 
     @property
     def total_samples(self) -> int:
-        return sum(r.size for r in self.records)
+        """Samples actually served (dropped queries were never answered)."""
+        return sum(r.size for r in self.records if not r.dropped)
 
     @property
     def raw_throughput(self) -> float:
@@ -353,13 +358,13 @@ class StreamingMetrics:
         scenarios carry per-tenant SLAs)."""
         sla = self.sla_s if sla_s is None else sla_s
         self.n += 1
-        self.total_samples += size
         self._path_counts[path_label] += 1
         self._max_finish = max(self._max_finish, finish_s)
         if dropped:
             self.n_dropped += 1
             self.n_violations += 1
             return
+        self.total_samples += size
         latency = finish_s - arrival_s
         correct = size * accuracy / 100.0
         self._correct_sum += correct

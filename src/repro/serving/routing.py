@@ -1,0 +1,131 @@
+"""Cluster-level query routers: pick the node that serves each query.
+
+A router sees the candidate nodes the cluster offers it — alive and not
+backpressured — and returns exactly one of them.  All routers are
+deterministic: given the same arrival sequence and node states they pick
+the same nodes, and ties always break toward the lowest node id, so
+cluster runs are reproducible and the tie-breaking is testable.
+
+``"round-robin"``
+    Cycle over nodes in id order, skipping dead/full ones.  The stateless
+    frontend default: perfectly fair under uniform load, oblivious to
+    queue depth and shard placement.
+``"least-loaded"``
+    Pick the node with the fewest queries in flight (admission queue +
+    dispatched batches), breaking ties by earliest-free server and then
+    node id — the power-of-all-choices load balancer.
+``"locality"``
+    Shard-locality-aware: route to a replica that holds the query's hot
+    shard group locally (cheapest all-to-all exchange), choosing the
+    least-loaded owner; fall back to least-loaded overall when no owner
+    is available.  Requires the cluster's :class:`~repro.serving.cluster.
+    ShardMap`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports us)
+    from repro.data.queries import Query
+    from repro.serving.cluster import ClusterNode, ShardMap
+
+ROUTER_NAMES = ("round-robin", "least-loaded", "locality")
+
+
+class Router:
+    """Interface: map (query, time, candidate nodes) -> one node."""
+
+    name = "router"
+
+    def select_node(
+        self, query: "Query", now: float, candidates: Sequence["ClusterNode"]
+    ) -> "ClusterNode":
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any routing state; the cluster calls this at the start of
+        every run so repeated runs of one simulator stay deterministic."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def _load_key(node: "ClusterNode", now: float) -> tuple:
+    """Deterministic load ordering: queue depth, earliest-free, node id."""
+    return (node.inflight_queries, node.earliest_free_delay(now), node.node_id)
+
+
+class RoundRobinRouter(Router):
+    """Cycle over nodes in id order, skipping unavailable ones."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def select_node(
+        self, query: "Query", now: float, candidates: Sequence["ClusterNode"]
+    ) -> "ClusterNode":
+        # Candidates arrive sorted by node id; serve the first candidate at
+        # or after the cursor, wrapping — dead/full nodes are simply absent.
+        chosen = min(
+            candidates,
+            key=lambda n: ((n.node_id < self._next), n.node_id),
+        )
+        self._next = chosen.node_id + 1
+        return chosen
+
+
+class LeastLoadedRouter(Router):
+    """Fewest in-flight queries; ties to earliest-free, then lowest id."""
+
+    name = "least-loaded"
+
+    def select_node(
+        self, query: "Query", now: float, candidates: Sequence["ClusterNode"]
+    ) -> "ClusterNode":
+        return min(candidates, key=lambda n: _load_key(n, now))
+
+
+class ShardLocalityRouter(Router):
+    """Prefer replicas owning the query's hot shard group.
+
+    Serving on an owner keeps the hot fraction of the sample's embedding
+    gather local, shrinking the per-batch all-to-all payload; among owners
+    the least-loaded wins so locality never creates a hot spot by itself.
+    """
+
+    name = "locality"
+
+    def __init__(self, shard_map: "ShardMap") -> None:
+        self.shard_map = shard_map
+
+    def select_node(
+        self, query: "Query", now: float, candidates: Sequence["ClusterNode"]
+    ) -> "ClusterNode":
+        group = self.shard_map.group_of(query)
+        owners = [
+            n for n in candidates if n.node_id in self.shard_map.owners[group]
+        ]
+        return min(owners or candidates, key=lambda n: _load_key(n, now))
+
+
+def make_router(router: str | Router, shard_map: "ShardMap" = None) -> Router:
+    """Resolve a router name (or pass an instance through)."""
+    if isinstance(router, Router):
+        return router
+    if router == "round-robin":
+        return RoundRobinRouter()
+    if router == "least-loaded":
+        return LeastLoadedRouter()
+    if router == "locality":
+        if shard_map is None:
+            raise ValueError("locality routing needs the cluster's ShardMap")
+        return ShardLocalityRouter(shard_map)
+    raise ValueError(
+        f"unknown router {router!r}; expected one of {ROUTER_NAMES}"
+    )

@@ -48,6 +48,45 @@ _ARRIVAL = 0
 _FLUSH = 1
 
 
+def shed_batch(
+    policy: ShedPolicy, batch, projected_start: float, service_s: float,
+    scenario, on_shed,
+) -> list:
+    """Split a routed batch into admitted queries, reporting shed ones.
+
+    Shared by the single-node engine and the cluster so the admission
+    semantics — wait measured from arrival to projected start, the batch's
+    projected service time, per-tenant SLA resolution — live in one place.
+    ``on_shed(query, sla_s)`` is called for every query the policy refuses.
+    """
+    if isinstance(policy, NoShed):
+        return batch
+    admitted = []
+    for query in batch:
+        sla_q = scenario.sla_for(query)
+        wait = projected_start - query.arrival_s
+        if policy.admit(wait, service_s, sla_q):
+            admitted.append(query)
+        else:
+            on_shed(query, sla_q)
+    return admitted
+
+
+def apportion_energy(
+    batch_energy: float, query_size: int, admitted_count: int,
+    admitted_size: int,
+) -> float:
+    """One query's energy share of a served batch, by sample count.
+
+    A singleton batch keeps the exact per-query value (bit-for-bit with
+    the reference loop); larger batches split by each query's share of
+    the batch's samples.
+    """
+    if admitted_count == 1:
+        return batch_energy
+    return batch_energy * query_size / admitted_size
+
+
 def query_energy(path, query_size: int, service_s: float) -> float:
     """Energy of one device pass (utilization-aware when a model is attached)."""
     model = path.extra.get("model")
@@ -203,21 +242,16 @@ class ServingSimulator:
         server = min(range(len(servers)), key=servers.__getitem__)
         projected_start = max(now, servers[server])
 
-        if isinstance(self.policy, NoShed):
-            admitted = batch
-        else:
-            admitted = []
-            for query in batch:
-                sla_q = scenario.sla_for(query)
-                wait = projected_start - query.arrival_s
-                if self.policy.admit(wait, decision.service_s, sla_q):
-                    admitted.append(query)
-                else:
-                    sink.observe(
-                        query.index, query.size, query.arrival_s,
-                        query.arrival_s, query.arrival_s, "DROPPED", 0.0,
-                        0.0, True, sla_q,
-                    )
+        def on_shed(query, sla_q):
+            sink.observe(
+                query.index, query.size, query.arrival_s, query.arrival_s,
+                query.arrival_s, "DROPPED", 0.0, 0.0, True, sla_q,
+            )
+
+        admitted = shed_batch(
+            self.policy, batch, projected_start, decision.service_s,
+            scenario, on_shed,
+        )
         if not admitted:
             return
 
@@ -235,11 +269,8 @@ class ServingSimulator:
         if self.track_energy:
             batch_energy = query_energy(path, admitted_size, service_s)
         for query in admitted:
-            # Energy is apportioned by sample share; a singleton batch keeps
-            # the exact per-query value (bit-for-bit with the reference loop).
-            energy = (
-                batch_energy if len(admitted) == 1
-                else batch_energy * query.size / admitted_size
+            energy = apportion_energy(
+                batch_energy, query.size, len(admitted), admitted_size
             )
             sink.observe(
                 query.index, query.size, query.arrival_s, start, finish,

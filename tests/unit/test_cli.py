@@ -53,6 +53,57 @@ class TestCommands:
         assert "correct predictions/s" in out
         assert "TABLE(CPU)" in out
 
+    def test_serve_cluster(self, capsys):
+        code = main([
+            "serve", "--dataset", "kaggle", "--queries", "200", "--qps",
+            "20000", "--nodes", "2", "--router", "locality",
+            "--replication", "2", "--max-batch", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 nodes, locality router" in out
+        assert "per-node served" in out
+
+    def test_serve_cluster_failover(self, capsys):
+        code = main([
+            "serve", "--dataset", "kaggle", "--queries", "200", "--qps",
+            "20000", "--nodes", "4", "--replication", "2",
+            "--fail-at", "0.002", "--fail-node", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "failed nodes" in out and "[1]" in out
+
+    def test_serve_rejects_cluster_flags_without_nodes(self, capsys):
+        code = main(["serve", "--fail-at", "0.5", "--queries", "10"])
+        assert code == 2
+        assert "--nodes" in capsys.readouterr().err
+        code = main(["serve", "--router", "locality", "--queries", "10"])
+        assert code == 2
+        assert "--router" in capsys.readouterr().err
+
+    def test_serve_cluster_rejects_bad_flag_combos(self, capsys):
+        code = main([
+            "serve", "--nodes", "2", "--replication", "3", "--queries", "10",
+        ])
+        assert code == 2
+        assert "--replication" in capsys.readouterr().err
+        code = main([
+            "serve", "--nodes", "2", "--fail-at", "0.1", "--fail-node", "2",
+            "--queries", "10",
+        ])
+        assert code == 2
+        assert "--fail-node" in capsys.readouterr().err
+        # --fail-node alone would silently skip the drill: reject it.
+        code = main([
+            "serve", "--nodes", "2", "--fail-node", "1", "--queries", "10",
+        ])
+        assert code == 2
+        assert "--fail-at" in capsys.readouterr().err
+        code = main(["serve", "--fail-node", "1", "--queries", "10"])
+        assert code == 2
+        assert "--nodes" in capsys.readouterr().err
+
     def test_characterize(self, capsys):
         code = main(["characterize", "--dataset", "kaggle", "--batch", "256"])
         assert code == 0

@@ -96,3 +96,43 @@ class TestIpuPlacement:
     def test_rejects_negative(self):
         with pytest.raises(ValueError):
             plan_ipu_placement(-1, IPU_POD16)
+
+
+class TestClusterLinks:
+    def test_catalog_links_resolve(self):
+        from repro.hardware.topology import CLUSTER_LINKS, ETHERNET_25G
+
+        assert CLUSTER_LINKS["eth-25g"] is ETHERNET_25G
+        assert set(CLUSTER_LINKS) == {"eth-25g", "eth-100g", "rdma-100g"}
+
+    def test_transfer_time_alpha_beta(self):
+        from repro.hardware.topology import LinkSpec
+
+        link = LinkSpec(name="test", bandwidth=1e9, latency_s=1e-5)
+        assert link.transfer_time(0) == 0.0
+        assert link.transfer_time(1e9) == pytest.approx(1.0 + 1e-5)
+
+    def test_link_validation(self):
+        from repro.hardware.topology import LinkSpec
+
+        with pytest.raises(ValueError):
+            LinkSpec(name="bad", bandwidth=0.0, latency_s=1e-6)
+        with pytest.raises(ValueError):
+            LinkSpec(name="bad", bandwidth=1e9, latency_s=-1.0)
+
+    def test_alltoall_degenerate_cases(self):
+        from repro.hardware.topology import ETHERNET_100G, alltoall_exchange_time
+
+        assert alltoall_exchange_time(1e6, 1, ETHERNET_100G) == 0.0
+        assert alltoall_exchange_time(0, 8, ETHERNET_100G) == 0.0
+        with pytest.raises(ValueError):
+            alltoall_exchange_time(1e6, 0, ETHERNET_100G)
+
+    def test_alltoall_scales_with_peers_and_bytes(self):
+        from repro.hardware.topology import ETHERNET_100G, alltoall_exchange_time
+
+        base = alltoall_exchange_time(1e6, 2, ETHERNET_100G)
+        more_peers = alltoall_exchange_time(1e6, 8, ETHERNET_100G)
+        more_bytes = alltoall_exchange_time(1e7, 2, ETHERNET_100G)
+        assert more_peers > base  # alpha term grows with fan-out
+        assert more_bytes > base  # beta term grows with payload

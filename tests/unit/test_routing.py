@@ -1,0 +1,140 @@
+"""Router selection and tie-breaking determinism."""
+
+import pytest
+
+from repro.analysis.sharding import greedy_shard
+from repro.data.queries import Query
+from repro.serving.cluster import ClusterNode, ShardMap
+from repro.serving.routing import (
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    ShardLocalityRouter,
+    make_router,
+)
+
+
+class _StubDevice:
+    def __init__(self, name="dev", concurrency=1):
+        self.name = name
+        self.concurrency = concurrency
+
+
+class _StubPath:
+    def __init__(self, device):
+        self.device = device
+
+
+class _StubScheduler:
+    def __init__(self, n_servers=1):
+        self.paths = [_StubPath(_StubDevice(concurrency=n_servers))]
+
+
+def _nodes(n, max_queue=0):
+    return [
+        ClusterNode(i, _StubScheduler(), max_queue=max_queue) for i in range(n)
+    ]
+
+
+def _query(index=0):
+    return Query(index=index, size=64, arrival_s=0.0)
+
+
+class TestRoundRobin:
+    def test_cycles_in_id_order(self):
+        router = RoundRobinRouter()
+        nodes = _nodes(3)
+        picks = [router.select_node(_query(i), 0.0, nodes).node_id for i in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_missing_candidates(self):
+        router = RoundRobinRouter()
+        nodes = _nodes(3)
+        assert router.select_node(_query(), 0.0, nodes).node_id == 0
+        # Node 1 withheld (dead/full): the cycle continues at 2, then wraps.
+        available = [nodes[0], nodes[2]]
+        assert router.select_node(_query(), 0.0, available).node_id == 2
+        assert router.select_node(_query(), 0.0, available).node_id == 0
+
+
+class TestLeastLoaded:
+    def test_picks_fewest_inflight(self):
+        router = LeastLoadedRouter()
+        nodes = _nodes(3)
+        nodes[0].inflight_queries = 5
+        nodes[1].inflight_queries = 1
+        nodes[2].inflight_queries = 3
+        assert router.select_node(_query(), 0.0, nodes).node_id == 1
+
+    def test_tie_breaks_to_lowest_id(self):
+        router = LeastLoadedRouter()
+        nodes = _nodes(4)
+        for _ in range(3):  # deterministic under repetition
+            assert router.select_node(_query(), 0.0, nodes).node_id == 0
+
+    def test_queue_tie_breaks_on_earliest_free(self):
+        router = LeastLoadedRouter()
+        nodes = _nodes(2)
+        nodes[0].free_at["dev"][0] = 5.0  # busy until t=5
+        nodes[1].free_at["dev"][0] = 1.0
+        assert router.select_node(_query(), 0.0, nodes).node_id == 1
+
+
+class TestShardLocality:
+    @pytest.fixture
+    def shard_map(self):
+        plan = greedy_shard([100, 200, 300, 400], 8, 4)
+        return ShardMap.from_plan(plan, replication=2)
+
+    def test_routes_to_an_owner(self, shard_map):
+        router = ShardLocalityRouter(shard_map)
+        nodes = _nodes(4)
+        for index in range(20):
+            query = _query(index)
+            picked = router.select_node(query, 0.0, nodes)
+            assert picked.node_id in shard_map.owners[shard_map.group_of(query)]
+
+    def test_prefers_least_loaded_owner(self, shard_map):
+        router = ShardLocalityRouter(shard_map)
+        nodes = _nodes(4)
+        query = _query(0)
+        owners = sorted(shard_map.owners[shard_map.group_of(query)])
+        nodes[owners[0]].inflight_queries = 10
+        assert router.select_node(query, 0.0, nodes).node_id == owners[1]
+
+    def test_falls_back_when_no_owner_available(self, shard_map):
+        router = ShardLocalityRouter(shard_map)
+        nodes = _nodes(4)
+        query = _query(0)
+        owners = shard_map.owners[shard_map.group_of(query)]
+        candidates = [n for n in nodes if n.node_id not in owners]
+        picked = router.select_node(query, 0.0, candidates)
+        assert picked.node_id == min(n.node_id for n in candidates)
+
+    def test_deterministic_across_repeats(self, shard_map):
+        router = ShardLocalityRouter(shard_map)
+        nodes = _nodes(4)
+        picks = [
+            router.select_node(_query(i), 0.0, nodes).node_id for i in range(50)
+        ]
+        repeat = [
+            router.select_node(_query(i), 0.0, nodes).node_id for i in range(50)
+        ]
+        assert picks == repeat
+
+
+class TestMakeRouter:
+    def test_resolves_names(self):
+        assert make_router("round-robin").name == "round-robin"
+        assert make_router("least-loaded").name == "least-loaded"
+
+    def test_locality_needs_shard_map(self):
+        with pytest.raises(ValueError, match="ShardMap"):
+            make_router("locality")
+
+    def test_passes_instances_through(self):
+        router = LeastLoadedRouter()
+        assert make_router(router) is router
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            make_router("random")

@@ -57,3 +57,38 @@ class TestGreedyShard:
             greedy_shard([10], 8, 0)
         with pytest.raises(ValueError):
             round_robin_shard([10], 8, 0)
+
+
+class TestShardingPlanEdgeCases:
+    def test_empty_feature_list(self):
+        plan = greedy_shard([], 16, 4)
+        assert plan.assignment == []
+        assert plan.node_bytes().sum() == 0
+        assert plan.imbalance == 1.0
+        assert plan.lookup_fanout() == 0
+        assert plan.alltoall_bytes_per_sample() == 0
+        assert plan.feature_nodes() == []
+
+    def test_single_node_holds_everything(self):
+        plan = greedy_shard(KAGGLE.cardinalities, 16, 1)
+        assert plan.feature_nodes() == [{0}] * len(KAGGLE.cardinalities)
+        assert plan.alltoall_bytes_per_sample() == 0
+
+    def test_row_split_table_larger_than_all_nodes(self):
+        # One table bigger than the cluster's combined capacity still gets
+        # an equal row-split placement; the overflow is the caller's memory
+        # problem, not a placement crash.
+        rows = 1_000_000
+        capacity = rows * 16 * 4 // 8  # 4 nodes x capacity < table bytes
+        plan = greedy_shard([rows], 16, 4, node_capacity_bytes=capacity)
+        slices = plan.assignment[0]
+        assert len(slices) == 4
+        assert sum(r for _, r in slices) == rows
+        assert {node for node, _ in slices} == {0, 1, 2, 3}
+        assert plan.node_bytes().max() > capacity  # genuinely oversubscribed
+        assert plan.lookup_fanout() == 1  # row-wise: one node per lookup
+
+    def test_row_split_uneven_tail_slice(self):
+        # 10 rows over 4 nodes: ceil(10/4)=3 -> slices 3,3,3,1.
+        plan = greedy_shard([10], 4, 4, node_capacity_bytes=1)
+        assert [r for _, r in plan.assignment[0]] == [3, 3, 3, 1]

@@ -178,3 +178,36 @@ class TestDroppedExcludedFromPercentiles:
             assert res_loaded.latency_percentile(q) == (
                 res_clean.latency_percentile(q)
             )
+
+
+class TestDroppedExcludedFromThroughput:
+    """Regression: dropped queries' samples used to count in total_samples
+    while the makespan shrank with every shed query, so a drop-heavy
+    failing run reported *higher* raw samples/s than a healthy one."""
+
+    def test_exact_throughput_ignores_drops(self):
+        served = make_records([0.020] * 10)
+        res_clean = ServingResult("t", 0.01, records=list(served))
+        drops = make_records([0.0] * 90, dropped=[True] * 90)
+        res_loaded = ServingResult("t", 0.01, records=served + drops)
+        assert res_loaded.total_samples == res_clean.total_samples
+        assert res_loaded.raw_throughput == res_clean.raw_throughput
+        # Served accuracy is over served samples, not shed ones.
+        assert res_loaded.mean_accuracy == pytest.approx(80.0)
+
+    def test_streaming_throughput_ignores_drops(self):
+        stream = StreamingMetrics("t", sla_s=0.01)
+        for r in make_records(
+            [0.020] * 10 + [0.0] * 90, dropped=[False] * 10 + [True] * 90
+        ):
+            stream.observe_record(r)
+        assert stream.total_samples == 10 * 100
+        assert stream.mean_accuracy == pytest.approx(80.0)
+        exact = ServingResult(
+            "t", 0.01,
+            records=make_records(
+                [0.020] * 10 + [0.0] * 90,
+                dropped=[False] * 10 + [True] * 90,
+            ),
+        )
+        assert stream.raw_throughput == pytest.approx(exact.raw_throughput)
