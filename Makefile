@@ -1,21 +1,31 @@
 # Developer entry points. `make test` is the tier-1 gate; `make bench-smoke`
-# runs a fast subset of the figure benchmarks; `make lint` byte-compiles
-# every tree and checks the suite still collects (no external linters are
-# assumed in the container); `make examples-smoke` + `make docs-check` back
-# the CI docs job (every example runs green, every relative link resolves).
+# runs a fast subset of the figure benchmarks; `make perf-smoke` is the
+# perf-regression gate (fails when the engine-vs-reference speedup or the
+# vectorized workload generation drops below its pinned floor); `make lint`
+# byte-compiles every tree and checks the suite still collects (no external
+# linters are assumed in the container); `make examples-smoke` +
+# `make docs-check` back the CI docs job (every example runs green, every
+# relative link resolves); `make profile` cProfiles the `serve` hot path.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke lint check examples-smoke docs-check
+.PHONY: test bench-smoke perf-smoke lint check examples-smoke docs-check profile
 
 test:
 	$(PYTHON) -m pytest -x -q
 
+# (the engine-scale benchmark lives in perf-smoke; listing it here too
+# would run the heaviest bench twice per CI pass)
 bench-smoke:
 	$(PYTHON) -m pytest -q \
-		benchmarks/test_serving_engine_scale.py \
 		benchmarks/test_fig11_throughput_breakdown.py
+
+perf-smoke:
+	$(PYTHON) -m pytest -q \
+		benchmarks/test_serving_engine_scale.py \
+		benchmarks/test_workload_generation.py \
+		benchmarks/test_runtime_switching.py
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
@@ -30,4 +40,9 @@ examples-smoke:
 docs-check:
 	$(PYTHON) scripts/check_links.py
 
-check: lint test bench-smoke docs-check examples-smoke
+profile:
+	$(PYTHON) -m cProfile -s cumtime -m repro serve \
+		--queries 20000 --qps 20000 --max-batch 64 --batch-timeout-ms 2 \
+		| head -45
+
+check: lint test bench-smoke perf-smoke docs-check examples-smoke

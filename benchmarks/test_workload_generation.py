@@ -1,0 +1,135 @@
+"""Workload-generation scale check: batched numpy draws vs per-query RNG.
+
+Scenario construction at 100k+ queries used to be dominated by one RNG
+call per candidate arrival (thinning loops for ``diurnal`` /
+``flash-crowd``, one exponential per arrival for ``mmpp``).  The
+generators in :mod:`repro.data.queries` now draw in bulk chunks; this
+bench retains the seed per-query loops as the baseline and pins the
+speedup floor, plus distributional sanity (the vectorized processes must
+keep the same long-run rate).
+"""
+
+import time
+
+import numpy as np
+from conftest import fmt_row
+
+from repro.data.queries import arrival_times
+
+N_QUERIES = 200_000
+QPS = 1000.0
+SPEEDUP_FLOOR = 3.0
+
+
+# ---- the seed per-query loops, retained as wall-clock baselines ----------
+
+
+def scalar_diurnal(n_queries, mean_qps, rng, period_s=10.0, amplitude=0.6):
+    peak = mean_qps * (1.0 + amplitude)
+    times = []
+    t = 0.0
+    while len(times) < n_queries:
+        t += rng.exponential(1.0 / peak)
+        rate = mean_qps * (1.0 + amplitude * np.sin(2 * np.pi * t / period_s))
+        if rng.random() < rate / peak:
+            times.append(t)
+    return np.array(times)
+
+
+def scalar_mmpp(n_queries, mean_qps, rng, burst_factor=4.0, duty=0.2,
+                mean_dwell_s=1.0):
+    rate_high = burst_factor * mean_qps
+    rate_low = mean_qps * (1.0 - duty * burst_factor) / (1.0 - duty)
+    dwell_high = mean_dwell_s * duty
+    dwell_low = mean_dwell_s * (1.0 - duty)
+    times = np.empty(n_queries)
+    count = 0
+    t = 0.0
+    bursting = False
+    state_end = rng.exponential(dwell_low)
+    while count < n_queries:
+        rate = rate_high if bursting else rate_low
+        t_next = t + rng.exponential(1.0 / rate)
+        if t_next >= state_end:
+            t = state_end
+            bursting = not bursting
+            state_end = t + rng.exponential(
+                dwell_high if bursting else dwell_low
+            )
+            continue
+        t = t_next
+        times[count] = t
+        count += 1
+    return times
+
+
+def scalar_flash_crowd(n_queries, base_qps, rng, spike_factor=5.0,
+                       spike_start_frac=0.5, spike_duration_frac=0.1):
+    horizon = n_queries / base_qps
+    spike_start = spike_start_frac * horizon
+    spike_end = spike_start + spike_duration_frac * horizon
+    peak = base_qps * spike_factor
+    times = np.empty(n_queries)
+    count = 0
+    t = 0.0
+    while count < n_queries:
+        t += rng.exponential(1.0 / peak)
+        in_spike = spike_start <= t < spike_end
+        rate = peak if in_spike else base_qps
+        if in_spike or rng.random() < rate / peak:
+            times[count] = t
+            count += 1
+    return times
+
+
+SCALAR = {
+    "diurnal": scalar_diurnal,
+    "mmpp": scalar_mmpp,
+    "flash-crowd": scalar_flash_crowd,
+}
+
+
+def run_generation():
+    out = {}
+    for process, scalar_fn in SCALAR.items():
+        t0 = time.perf_counter()
+        scalar_times = scalar_fn(N_QUERIES, QPS, np.random.default_rng(7))
+        t_scalar = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        vector_times = arrival_times(
+            N_QUERIES, QPS, rng=np.random.default_rng(7), process=process
+        )
+        t_vector = time.perf_counter() - t0
+        out[process] = (t_scalar, t_vector, scalar_times, vector_times)
+    return out
+
+
+def test_workload_generation_speedup(benchmark, record):
+    results = benchmark.pedantic(run_generation, rounds=1, iterations=1)
+
+    lines = []
+    for process, (t_scalar, t_vector, scalar_times, vector_times) in (
+        results.items()
+    ):
+        speedup = t_scalar / t_vector
+        lines.append(fmt_row(
+            process, scalar_ms=t_scalar * 1e3, vector_ms=t_vector * 1e3,
+            speedup=speedup,
+        ))
+
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"{process}: vectorized generation regressed to "
+            f"{speedup:.1f}x (< {SPEEDUP_FLOOR}x floor)"
+        )
+        # Same process, same long-run behavior: monotone timestamps and a
+        # matching achieved rate (different draw sequences are expected).
+        assert np.all(np.diff(vector_times) >= 0)
+        scalar_rate = N_QUERIES / scalar_times[-1]
+        vector_rate = N_QUERIES / vector_times[-1]
+        assert abs(vector_rate - scalar_rate) / scalar_rate < 0.10
+
+    record(
+        f"Workload generation: {N_QUERIES} arrivals @ {QPS:.0f} QPS",
+        lines,
+    )

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# CI entry point: lint (byte-compile + collect), tier-1 tests, and a quick
-# benchmark smoke pass. Mirrors the Makefile targets for environments
-# without make.
+# CI entry point: lint (byte-compile + collect), tier-1 tests, a quick
+# benchmark smoke pass, and the perf-regression smoke (pinned speedup
+# floors). Mirrors the Makefile targets for environments without make.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
@@ -15,5 +15,10 @@ python -m pytest -x -q
 
 echo "== benchmark smoke =="
 python -m pytest -q \
-    benchmarks/test_serving_engine_scale.py \
     benchmarks/test_fig11_throughput_breakdown.py
+
+echo "== perf regression smoke =="
+python -m pytest -q \
+    benchmarks/test_serving_engine_scale.py \
+    benchmarks/test_workload_generation.py \
+    benchmarks/test_runtime_switching.py

@@ -97,6 +97,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="constant-memory metrics (for very large --queries)",
     )
     serve.add_argument(
+        "--switching", action="store_true",
+        help="runtime representation switching: one resident representation "
+             "per device, swapped as load shifts (Fig 15 overhead charged)",
+    )
+    serve.add_argument(
+        "--switch-cooldown", type=float, default=None, metavar="MS",
+        help="freeze a device for this long after each switch "
+             "(hysteresis; default 250 ms, requires --switching)",
+    )
+    serve.add_argument(
         "--nodes", type=_positive_int, default=1,
         help="cluster size; >1 serves through the multi-node simulator",
     )
@@ -179,10 +189,30 @@ def cmd_serve(args) -> int:
     from repro.serving.workload import ServingScenario
 
     config = _datasets()[args.dataset]
+    # Pure flag checks run before the (potentially huge) workload is built.
+    if args.switch_cooldown is not None and not args.switching:
+        print("error: --switch-cooldown requires --switching", file=sys.stderr)
+        return 2
+    if args.switching:
+        if args.nodes > 1:
+            print(
+                "error: --switching is a single-node mode (use the "
+                "ClusterSimulator API for switching fleets)", file=sys.stderr,
+            )
+            return 2
+        if args.scheduler != "mp-rec":
+            print(
+                "error: --switching builds its own one-representation-per-"
+                "device deployment; leave --scheduler at its default",
+                file=sys.stderr,
+            )
+            return 2
     scenario = ServingScenario.with_process(
         args.arrivals, n_queries=args.queries, qps=args.qps,
         sla_s=args.sla_ms / 1e3, seed=args.seed,
     )
+    if args.switching:
+        return _serve_switching(args, config, scenario)
     if args.nodes > 1:
         if args.replication > args.nodes:
             print(
@@ -235,6 +265,36 @@ def cmd_serve(args) -> int:
     print(f"p99 latency            : {result.p99_latency_s * 1e3:.2f} ms")
     for label, share in result.switching_breakdown().items():
         print(f"  {label:16s} {share * 100:5.1f}%")
+    return 0
+
+
+def _serve_switching(args, config, scenario) -> int:
+    from repro.experiments.setup import run_switching_serving
+
+    cooldown_ms = 250.0 if args.switch_cooldown is None else args.switch_cooldown
+    result, controller = run_switching_serving(
+        config, scenario, shed_policy=args.shed_policy,
+        max_batch_size=args.max_batch,
+        batch_timeout_s=args.batch_timeout_ms / 1e3,
+        streaming=args.streaming, cooldown_s=cooldown_ms / 1e3,
+    )
+    print("mode                   : runtime representation switching")
+    print(f"correct predictions/s  : {result.correct_prediction_throughput:,.0f}")
+    print(f"raw samples/s          : {result.raw_throughput:,.0f}")
+    print(f"served accuracy        : {result.mean_accuracy:.3f}%")
+    print(f"SLA violations         : {result.violation_rate * 100:.2f}%")
+    print(f"shed (dropped)         : {result.drop_rate * 100:.2f}%")
+    print(f"p99 latency            : {result.p99_latency_s * 1e3:.2f} ms")
+    for label, share in result.switching_breakdown().items():
+        print(f"  {label:16s} {share * 100:5.1f}%")
+    print(f"switches               : {len(controller.events)}")
+    print(f"switch overhead        : {controller.total_overhead_s * 1e3:.2f} ms")
+    for event in controller.events[:8]:
+        print(
+            f"  t={event.time_s * 1e3:8.1f} ms  {event.device}: "
+            f"{event.from_label} -> {event.to_label} "
+            f"(+{event.overhead_s * 1e3:.1f} ms)"
+        )
     return 0
 
 

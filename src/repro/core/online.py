@@ -7,14 +7,19 @@ the candidate's device. Preference order: hybrid, then DHE, then table; if
 nothing meets the SLA the scheduler defaults to the fastest table path so
 throughput is preserved (Section 4.2).
 
-The event-driven engine (:class:`~repro.serving.simulator.ServingSimulator`)
-calls :meth:`Scheduler.select_batch` once per coalesced micro-batch — the
+The serving kernel (:mod:`repro.serving.engine`, behind
+:class:`~repro.serving.simulator.ServingSimulator` and the cluster) calls
+:meth:`Scheduler.select_batch` once per coalesced micro-batch — the
 default forwards to the per-query :meth:`Scheduler.select`, which is exactly
 the per-query decision when batching is disabled — and notifies
 :meth:`Scheduler.on_batch_dispatched` after placement so stateful
-subclasses can track in-flight load. Admission control (shedding) is *not*
-the scheduler's job: it lives in :mod:`repro.serving.policies` and runs
-after routing, when the projected wait and service time are known.
+subclasses can track in-flight load. Runtime representation switching
+(:mod:`repro.core.switching`) drives :meth:`Scheduler.on_switch_started` /
+:meth:`Scheduler.on_switch_completed`; the default swaps the resident path
+in place so every scheduler keeps routing unchanged. Admission control
+(shedding) is *not* the scheduler's job: it lives in
+:mod:`repro.serving.policies` and runs after routing, when the projected
+wait and service time are known.
 """
 
 from __future__ import annotations
@@ -71,6 +76,34 @@ class Scheduler:
     ) -> None:
         """Notification after a batch is committed to a server; the base
         scheduler is stateless, subclasses may track in-flight load."""
+
+    # ---- runtime representation switching hooks --------------------------
+
+    def on_switch_started(
+        self, device_name: str, old_path: ExecutionPath,
+        new_path: ExecutionPath, now: float,
+    ) -> None:
+        """A :class:`~repro.core.switching.SwitchController` is replacing
+        ``old_path`` with ``new_path`` as the resident representation on
+        ``device_name``. The default swaps the path in place, so batches
+        routed during and after the switch window use the new
+        representation (they block on the device timeline until the
+        load/teardown completes). Stateful subclasses may override to
+        migrate per-path state."""
+        for i, path in enumerate(self.paths):
+            if path is old_path:
+                self.paths[i] = new_path
+                return
+        raise ValueError(
+            f"switch source {old_path.label!r} is not resident on this "
+            "scheduler"
+        )
+
+    def on_switch_completed(
+        self, device_name: str, path: ExecutionPath, now: float,
+    ) -> None:
+        """The switch's load/teardown window elapsed; ``path`` is now the
+        serving representation on ``device_name``. Default: no-op."""
 
     def _decision(
         self, path: ExecutionPath, query_size: int, now: float,

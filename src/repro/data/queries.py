@@ -87,23 +87,64 @@ def arrival_times(
     qps: float,
     rng: np.random.Generator | None = None,
     process: str = "poisson",
+    **process_kwargs,
 ) -> np.ndarray:
-    """Arrival timestamps for ``n_queries`` at the target rate."""
+    """Arrival timestamps for ``n_queries`` at the target rate.
+
+    ``process_kwargs`` forward to the named process generator (e.g.
+    ``amplitude`` / ``period_s`` for ``diurnal``, ``burst_factor`` /
+    ``duty`` for ``mmpp``, ``spike_factor`` for ``flash-crowd``).
+
+    Every process draws in batched numpy chunks rather than one RNG call
+    per query — per-query draws dominate scenario construction at 100k+
+    queries; the speedup is pinned in
+    ``benchmarks/test_workload_generation.py``.
+    """
     if qps <= 0:
         raise ValueError("qps must be positive")
     rng = rng or np.random.default_rng(0)
+    if process == "diurnal":
+        return _diurnal_arrivals(n_queries, qps, rng, **process_kwargs)
+    if process in ("mmpp", "bursty"):
+        return _mmpp_arrivals(n_queries, qps, rng, **process_kwargs)
+    if process == "flash-crowd":
+        return _flash_crowd_arrivals(n_queries, qps, rng, **process_kwargs)
+    if process_kwargs:
+        raise ValueError(
+            f"process {process!r} takes no extra parameters, "
+            f"got {sorted(process_kwargs)}"
+        )
     if process == "poisson":
         gaps = rng.exponential(scale=1.0 / qps, size=n_queries)
         return np.cumsum(gaps)
     if process == "uniform":
         return np.arange(1, n_queries + 1) / qps
-    if process == "diurnal":
-        return _diurnal_arrivals(n_queries, qps, rng)
-    if process in ("mmpp", "bursty"):
-        return _mmpp_arrivals(n_queries, qps, rng)
-    if process == "flash-crowd":
-        return _flash_crowd_arrivals(n_queries, qps, rng)
     raise ValueError(f"unknown arrival process {process!r}")
+
+
+def _thinned_arrivals(n_queries, peak_rate, rng, accept) -> np.ndarray:
+    """Thinning against ``peak_rate``, drawn in bulk chunks.
+
+    ``accept(candidates) -> bool mask`` implements the inhomogeneous
+    acceptance test. Each round oversamples candidate points at the peak
+    rate, accepts in one vectorized pass, and keeps going from the last
+    *candidate* (accepted or not — the thinning process must not restart
+    mid-stream).
+    """
+    times = np.empty(n_queries)
+    count = 0
+    t = 0.0
+    while count < n_queries:
+        chunk = max(4096, int(1.5 * (n_queries - count)))
+        candidates = t + np.cumsum(
+            rng.exponential(1.0 / peak_rate, size=chunk)
+        )
+        accepted = candidates[accept(candidates, rng)]
+        take = min(n_queries - count, accepted.size)
+        times[count:count + take] = accepted[:take]
+        count += take
+        t = candidates[-1]
+    return times
 
 
 def _diurnal_arrivals(
@@ -118,19 +159,19 @@ def _diurnal_arrivals(
     Production recommendation traffic follows diurnal cycles (the load
     pattern Hercules provisions for — Section 7); ``period_s`` compresses a
     day into a simulable window. Rate(t) = mean * (1 + amplitude*sin(...)),
-    sampled by thinning against the peak rate.
+    sampled by vectorized thinning against the peak rate.
     """
     if not 0 <= amplitude < 1:
         raise ValueError("amplitude must be in [0, 1)")
     peak = mean_qps * (1.0 + amplitude)
-    times = []
-    t = 0.0
-    while len(times) < n_queries:
-        t += rng.exponential(1.0 / peak)
-        rate = mean_qps * (1.0 + amplitude * np.sin(2 * np.pi * t / period_s))
-        if rng.random() < rate / peak:
-            times.append(t)
-    return np.array(times)
+
+    def accept(candidates, rng):
+        rate = mean_qps * (
+            1.0 + amplitude * np.sin(2 * np.pi * candidates / period_s)
+        )
+        return rng.random(candidates.size) < rate / peak
+
+    return _thinned_arrivals(n_queries, peak, rng, accept)
 
 
 def _mmpp_arrivals(
@@ -148,6 +189,11 @@ def _mmpp_arrivals(
     so the time-weighted average stays ``mean_qps``. Dwell times in each
     state are exponential with mean ``mean_dwell_s`` scaled by the state's
     long-run share.
+
+    Sampling is vectorized per dwell interval: within a window of length
+    ``L`` at rate ``r`` the arrival count is Poisson(``rL``) and the
+    points are sorted uniforms — one bulk draw per state visit instead of
+    one exponential per arrival.
     """
     if burst_factor <= 1.0:
         raise ValueError("burst_factor must exceed 1")
@@ -156,29 +202,26 @@ def _mmpp_arrivals(
     if duty * burst_factor >= 1.0:
         raise ValueError("duty * burst_factor must stay below 1 so the calm "
                          "rate remains positive")
+    if n_queries <= 0:
+        return np.empty(0)
     rate_high = burst_factor * mean_qps
     rate_low = mean_qps * (1.0 - duty * burst_factor) / (1.0 - duty)
     dwell_high = mean_dwell_s * duty
     dwell_low = mean_dwell_s * (1.0 - duty)
-    times = np.empty(n_queries)
-    count = 0
+    chunks: list[np.ndarray] = []
+    total = 0
     t = 0.0
     bursting = False
-    state_end = rng.exponential(dwell_low)
-    while count < n_queries:
+    while total < n_queries:
+        dwell = rng.exponential(dwell_high if bursting else dwell_low)
         rate = rate_high if bursting else rate_low
-        t_next = t + rng.exponential(1.0 / rate)
-        if t_next >= state_end:
-            # State flips before the next arrival would land; resample the
-            # gap under the new state's rate from the flip instant.
-            t = state_end
-            bursting = not bursting
-            state_end = t + rng.exponential(dwell_high if bursting else dwell_low)
-            continue
-        t = t_next
-        times[count] = t
-        count += 1
-    return times
+        k = rng.poisson(rate * dwell)
+        if k:
+            chunks.append(t + dwell * np.sort(rng.random(k)))
+            total += k
+        t += dwell
+        bursting = not bursting
+    return np.concatenate(chunks)[:n_queries]
 
 
 def _flash_crowd_arrivals(
@@ -192,25 +235,20 @@ def _flash_crowd_arrivals(
     """Baseline Poisson traffic with one multiplicative spike window.
 
     The spike is placed relative to the nominal (pre-spike) horizon
-    ``n_queries / base_qps`` and sampled by thinning against the peak rate.
+    ``n_queries / base_qps`` and sampled by vectorized thinning against
+    the peak rate.
     """
     if spike_factor < 1.0:
         raise ValueError("spike_factor must be >= 1")
     horizon = n_queries / base_qps
     spike_start = spike_start_frac * horizon
     spike_end = spike_start + spike_duration_frac * horizon
-    peak = base_qps * spike_factor
-    times = np.empty(n_queries)
-    count = 0
-    t = 0.0
-    while count < n_queries:
-        t += rng.exponential(1.0 / peak)
-        in_spike = spike_start <= t < spike_end
-        rate = peak if in_spike else base_qps
-        if in_spike or rng.random() < rate / peak:
-            times[count] = t
-            count += 1
-    return times
+
+    def accept(candidates, rng):
+        in_spike = (candidates >= spike_start) & (candidates < spike_end)
+        return in_spike | (rng.random(candidates.size) < 1.0 / spike_factor)
+
+    return _thinned_arrivals(n_queries, base_qps * spike_factor, rng, accept)
 
 
 def generate_query_set(
@@ -221,16 +259,20 @@ def generate_query_set(
     seed: int = 0,
     process: str = "poisson",
     tenant: str = "",
+    **process_kwargs,
 ) -> QuerySet:
     """The paper's default workload: 10K lognormal queries, mean 128, 1000 QPS."""
     rng = np.random.default_rng(seed)
     sizes = lognormal_sizes(n_queries, mean_size, sigma=sigma, rng=rng)
-    arrivals = arrival_times(n_queries, qps, rng=rng, process=process)
+    arrivals = arrival_times(
+        n_queries, qps, rng=rng, process=process, **process_kwargs
+    )
+    # tolist() once: plain python scalars construct far faster than
+    # per-element numpy indexing at 100k+ queries.
     queries = [
-        Query(
-            index=i, size=int(sizes[i]), arrival_s=float(arrivals[i]),
-            tenant=tenant,
+        Query(index=i, size=size, arrival_s=arrival, tenant=tenant)
+        for i, (size, arrival) in enumerate(
+            zip(sizes.tolist(), arrivals.tolist())
         )
-        for i in range(n_queries)
     ]
     return QuerySet(queries=queries)

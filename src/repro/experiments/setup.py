@@ -21,6 +21,7 @@ from repro.core.online import (
 )
 from repro.core.profiler import make_path
 from repro.core.representations import RepresentationConfig, paper_configs
+from repro.core.switching import SwitchController
 from repro.data.zipf import ZipfSampler
 from repro.hardware.catalog import CPU_BROADWELL, GPU_V100
 from repro.hardware.device import GB, MB, DeviceSpec
@@ -169,6 +170,66 @@ def build_schedulers(
     return schedulers
 
 
+def build_switching(
+    model: ModelConfig,
+    devices: list[DeviceSpec] | None = None,
+    with_cache: bool = True,
+    initial: str = "table",
+    cooldown_s: float = 0.25,
+    hi_pressure: float = 0.75,
+    lo_pressure: float = 0.25,
+    patience: int = 4,
+    headroom: float = 0.8,
+) -> tuple[Scheduler, SwitchController]:
+    """A runtime-switching deployment: one resident representation per
+    device (``initial`` kind where mapped, else the device's fastest) and
+    a :class:`~repro.core.switching.SwitchController` holding the offline
+    plan's other representations as swap candidates.
+
+    This is MP-Rec's memory-frugal sibling: instead of keeping every
+    planned representation resident (the multi-path scheduler), each
+    device hosts exactly one and pays the Figure-15 load/teardown window
+    to change it as load shifts. Pass the returned pair to
+    :class:`~repro.serving.simulator.ServingSimulator` /
+    :class:`~repro.serving.cluster.ClusterSimulator`.
+    """
+    devices = devices if devices is not None else hw1_devices()
+    plan = build_plan(model, devices)
+    candidates: dict[str, list] = {}
+    for device_name, reps in plan.mappings.items():
+        device = plan.devices[device_name]
+        for rep in reps:
+            if rep.uses_dhe and with_cache:
+                effect = default_cache_effect(model, rep)
+                hit, speed = effect.encoder_hit_rate, effect.decoder_speedup
+                accuracy = plan.accuracies[rep.display] - effect.accuracy_penalty
+            else:
+                hit, speed = 0.0, 1.0
+                accuracy = plan.accuracies[rep.display]
+            path = make_path(
+                rep, model, device, accuracy,
+                encoder_hit_rate=hit, decoder_speedup=speed,
+                label=f"{rep.kind.upper()}({device.kind.upper()})",
+            )
+            path.extra["model"] = model
+            candidates.setdefault(device_name, []).append(path)
+    residents = []
+    for device_name, paths in candidates.items():
+        preferred = [p for p in paths if p.kind == initial]
+        residents.append(
+            preferred[0] if preferred else min(paths, key=lambda p: p.latency(1))
+        )
+    controller = SwitchController(
+        candidates,
+        hi_pressure=hi_pressure,
+        lo_pressure=lo_pressure,
+        patience=patience,
+        cooldown_s=cooldown_s,
+        headroom=headroom,
+    )
+    return MultiPathScheduler(residents), controller
+
+
 def run_serving_comparison(
     model: ModelConfig,
     scenario: ServingScenario | None = None,
@@ -200,6 +261,34 @@ def run_serving_comparison(
             sim.run_streaming(scenario) if streaming else sim.run(scenario)
         )
     return results
+
+
+def run_switching_serving(
+    model: ModelConfig,
+    scenario: ServingScenario | None = None,
+    devices: list[DeviceSpec] | None = None,
+    shed_policy: str = "none",
+    max_batch_size: int = 1,
+    batch_timeout_s: float = 0.0,
+    streaming: bool = False,
+    **switching_kwargs,
+):
+    """Run one scenario through the runtime-switching deployment.
+
+    Returns ``(result, controller)`` — the controller's ``events`` carry
+    the run's residency trace. ``switching_kwargs`` forward to
+    :func:`build_switching` (``cooldown_s``, ``patience``, thresholds...).
+    """
+    scenario = scenario or ServingScenario.paper_default()
+    scheduler, controller = build_switching(
+        model, devices, **switching_kwargs
+    )
+    sim = ServingSimulator(
+        scheduler, shed_policy=shed_policy, max_batch_size=max_batch_size,
+        batch_timeout_s=batch_timeout_s, switch_controller=controller,
+    )
+    result = sim.run_streaming(scenario) if streaming else sim.run(scenario)
+    return result, controller
 
 
 def build_cluster(

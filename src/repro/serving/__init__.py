@@ -1,20 +1,29 @@
 """Event-driven query-serving simulation, single-node and clustered
 (Sections 5.3-6.9).
 
-Entry points and the knobs they share:
+One serving kernel (:mod:`repro.serving.engine`: :class:`EventLoop` +
+:class:`Batcher` + :class:`EngineCore` over a :class:`~repro.serving.
+devices.DeviceTimeline`) backs every engine in the repo.  Entry points
+and the knobs they share:
 
-- :class:`ServingSimulator` — one node.  ``shed_policy`` (``"none"`` /
-  ``"drop-late"`` / ``"deadline-aware"`` or a :class:`ShedPolicy`) governs
-  admission at dispatch; ``max_batch_size`` / ``batch_timeout_s`` govern
-  micro-batch coalescing (1 / 0.0 reproduces the per-query reference loop).
-- :class:`ClusterSimulator` — N nodes behind a :mod:`~repro.serving.routing`
-  router, with shard replication, link-priced all-to-all exchange,
-  backpressure (``max_queue``) and failover (``fail_at`` / ``fail_node``).
+- :class:`ServingSimulator` — a thin 1-node façade over the kernel.
+  ``shed_policy`` (``"none"`` / ``"drop-late"`` / ``"deadline-aware"`` or
+  a :class:`ShedPolicy`) governs admission at dispatch; ``max_batch_size``
+  / ``batch_timeout_s`` govern micro-batch coalescing (1 / 0.0 reproduces
+  the per-query reference loop).
+- :class:`ClusterSimulator` — N kernel cores behind a :mod:`~repro.
+  serving.routing` router, with shard replication, link-priced all-to-all
+  exchange, backpressure (``max_queue``) and failover (``fail_at`` /
+  ``fail_node``).
+- Both accept a :class:`~repro.core.switching.SwitchController` for
+  runtime representation switching (load/teardown charged on the device
+  timelines — docs/switching.md).
 - Both report through either exact record-backed :class:`ServingResult`
   (``run``) or constant-memory :class:`StreamingMetrics`
   (``run_streaming``); the two share one metric vocabulary.
 
-See docs/serving.md and docs/cluster.md for the guided tour.
+See docs/serving.md, docs/cluster.md, and docs/switching.md for the
+guided tour.
 """
 
 from repro.serving.cluster import (
@@ -22,6 +31,15 @@ from repro.serving.cluster import (
     ClusterResult,
     ClusterSimulator,
     ShardMap,
+)
+from repro.serving.devices import DeviceTimeline
+from repro.serving.engine import (
+    Batcher,
+    EngineCore,
+    EventLoop,
+    RecordSink,
+    StreamingSink,
+    run_kernel,
 )
 from repro.serving.metrics import (
     P2Quantile,
@@ -48,15 +66,20 @@ from repro.serving.simulator import ReferenceSimulator, ServingSimulator
 from repro.serving.workload import ServingScenario, TenantSpec
 
 __all__ = [
+    "Batcher",
     "ClusterNode",
     "ClusterResult",
     "ClusterSimulator",
     "DeadlineAware",
+    "DeviceTimeline",
     "DropLate",
+    "EngineCore",
+    "EventLoop",
     "LeastLoadedRouter",
     "NoShed",
     "P2Quantile",
     "QueryRecord",
+    "RecordSink",
     "ReferenceSimulator",
     "ReservoirSampler",
     "Router",
@@ -68,7 +91,9 @@ __all__ = [
     "ShardMap",
     "ShedPolicy",
     "StreamingMetrics",
+    "StreamingSink",
     "TenantSpec",
     "make_policy",
     "make_router",
+    "run_kernel",
 ]

@@ -1,4 +1,4 @@
-"""Multi-node serving cluster: N event-driven node engines behind a router.
+"""Multi-node serving cluster: N serving-kernel cores behind a router.
 
 PR 1 made one node fast; production fleets (Section 6.9) shard the
 embedding tables across *nodes* and load-balance queries over them.  This
@@ -7,6 +7,15 @@ simulation: a :class:`~repro.analysis.sharding.ShardingPlan` says where
 table shards live, :mod:`repro.hardware.topology` link costs price the
 all-to-all embedding exchange each batch pays, and a pluggable
 :mod:`~repro.serving.routing` router decides which node serves each query.
+
+Every node is one :class:`~repro.serving.engine.EngineCore` — the same
+kernel the single-node :class:`~repro.serving.simulator.ServingSimulator`
+wraps — driven off one shared :class:`~repro.serving.engine.EventLoop`.
+This module owns only what is cluster-specific: routing and edge
+admission (backpressure, shard coverage), the per-batch exchange pricing
+hook, failure injection, and fleet-level accounting.  Batching,
+shedding, and energy apportionment live in :mod:`repro.serving.engine`,
+in exactly one place.
 
 The data/locality model (:class:`ShardMap`):
 
@@ -40,12 +49,13 @@ recorded as dropped.
 
 A 1-node cluster reproduces :class:`~repro.serving.simulator.
 ServingSimulator` record-for-record (zero exchange, trivial routing) —
-pinned in ``tests/unit/test_cluster.py``.
+pinned in ``tests/unit/test_cluster.py`` and property-tested over random
+scenarios in ``tests/property/test_prop_engine_parity.py``.
 """
 
 from __future__ import annotations
 
-import heapq
+import copy
 from dataclasses import dataclass, field
 
 from repro.analysis.sharding import ShardingPlan
@@ -56,22 +66,23 @@ from repro.hardware.topology import (
     LinkSpec,
     alltoall_exchange_time,
 )
+from repro.serving.engine import (
+    ARRIVAL,
+    CONTROL,
+    EngineCore,
+    RecordSink,
+    StreamingSink,
+    drop_query,
+    run_kernel,
+)
 from repro.serving.metrics import ServingResult, StreamingMetrics
 from repro.serving.policies import ShedPolicy, make_policy
 from repro.serving.routing import Router, make_router
-from repro.serving.simulator import (
-    _RecordSink,
-    _StreamingSink,
-    apportion_energy,
-    query_energy,
-    shed_batch,
-)
 from repro.serving.workload import ServingScenario
 
-_ARRIVAL = 0
-_FLUSH = 1
-_FINISH = 2
-_FAIL = 3
+# A cluster node *is* an engine core; the name is kept for the router API
+# and for callers of the PR-2 interface.
+ClusterNode = EngineCore
 
 _KNUTH = 2654435761  # multiplicative hash for query -> shard group
 
@@ -148,42 +159,6 @@ class ShardMap:
 
 
 @dataclass
-class _InFlight:
-    """One dispatched batch awaiting its finish event."""
-
-    queries: list[Query]
-    outcomes: list[tuple]
-    energy_j: float
-
-
-class ClusterNode:
-    """One node's engine state: admission queue, flush arming, server pools."""
-
-    def __init__(self, node_id: int, scheduler: Scheduler, max_queue: int = 0) -> None:
-        self.node_id = node_id
-        self.scheduler = scheduler
-        self.max_queue = max_queue
-        self.free_at: dict[str, list[float]] = {
-            path.device.name: [0.0] * path.device.concurrency
-            for path in scheduler.paths
-        }
-        self.pending: list[Query] = []
-        self.generation = 0
-        self.armed = False
-        self.alive = True
-        self.in_flight: dict[int, _InFlight] = {}
-        self.inflight_queries = 0  # admission queue + dispatched, unfinished
-
-    @property
-    def full(self) -> bool:
-        return self.max_queue > 0 and self.inflight_queries >= self.max_queue
-
-    def earliest_free_delay(self, now: float) -> float:
-        earliest = min(min(pool) for pool in self.free_at.values())
-        return max(0.0, earliest - now)
-
-
-@dataclass
 class ClusterResult:
     """A cluster run: merged serving metrics plus fleet-level accounting."""
 
@@ -198,6 +173,8 @@ class ClusterResult:
     edge_drops: int = 0  # shed at the cluster edge (backpressure / coverage)
     failed_nodes: list[int] = field(default_factory=list)
     wasted_energy_j: float = 0.0
+    switches: int = 0  # runtime representation switches across the fleet
+    switch_overhead_s: float = 0.0  # device time blocked by switching
 
     def summary(self) -> dict[str, float]:
         merged = dict(self.result.summary())
@@ -208,11 +185,16 @@ class ClusterResult:
             edge_drops=self.edge_drops,
             wasted_energy_j=self.wasted_energy_j,
         )
+        if self.switches:
+            merged.update(
+                switches=self.switches,
+                switch_overhead_s=self.switch_overhead_s,
+            )
         return merged
 
 
 class ClusterSimulator:
-    """Compose N per-node event engines behind a router.
+    """Compose N serving-kernel cores behind a router.
 
     ``scheduler``: one :class:`~repro.core.online.Scheduler` shared by every
     node (safe — the built-in schedulers are stateless given ``free_at``),
@@ -228,6 +210,11 @@ class ClusterSimulator:
     single-node :class:`~repro.serving.simulator.ServingSimulator` and apply
     per node.  ``max_queue`` bounds each node's outstanding queries (0 =
     unbounded).  ``fail_at`` / ``fail_node`` schedule one node failure.
+
+    ``switch_controller``: optional :class:`~repro.core.switching.
+    SwitchController`; each node gets its own clone (and its own scheduler
+    copy, so one node's representation switch never leaks into another's
+    path set).
     """
 
     def __init__(
@@ -245,6 +232,7 @@ class ClusterSimulator:
         fail_at: float | None = None,
         fail_node: int = 0,
         track_energy: bool = True,
+        switch_controller=None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -276,217 +264,134 @@ class ClusterSimulator:
         self.fail_at = fail_at
         self.fail_node = fail_node
         self.track_energy = track_energy
+        self.switch_controller = switch_controller
         self.scheduler_name = schedulers[0].name
 
     # ---- public entry points ---------------------------------------------
 
     def run(self, scenario: ServingScenario) -> ClusterResult:
         """Simulate and return exact, record-backed cluster metrics."""
-        sink = _RecordSink(self.scheduler_name, scenario.sla_s)
+        sink = RecordSink(self.scheduler_name, scenario.sla_s)
         return self._simulate(scenario, sink)
 
     def run_streaming(self, scenario: ServingScenario) -> ClusterResult:
         """Simulate with constant-memory merged metrics (O(1) per query)."""
-        sink = _StreamingSink(self.scheduler_name, scenario.sla_s)
+        sink = StreamingSink(self.scheduler_name, scenario.sla_s)
         return self._simulate(scenario, sink)
 
-    # ---- event loop ------------------------------------------------------
+    # ---- kernel façade ---------------------------------------------------
+
+    def _make_cores(self, alive_ids: set[int]) -> list[EngineCore]:
+        # The exchange hook closes over this run's alive set — per-run
+        # state stays in the run, keeping the simulator reentrant.
+        def exchange(core, batch):
+            return self._exchange_s(core, batch, alive_ids)
+
+        cores = []
+        for node_id, sched in enumerate(self.schedulers):
+            switcher = None
+            if self.switch_controller is not None:
+                # Residency is per node: give the node its own controller
+                # clone and its own scheduler copy with a private path list.
+                switcher = self.switch_controller.clone()
+                sched = copy.copy(sched)
+                sched.paths = list(sched.paths)
+            cores.append(
+                EngineCore(
+                    sched,
+                    self.policy,
+                    max_batch_size=self.max_batch_size,
+                    batch_timeout_s=self.batch_timeout_s,
+                    node_id=node_id,
+                    max_queue=self.max_queue,
+                    track_energy=self.track_energy,
+                    defer_commit=True,
+                    service_extra=exchange,
+                    switcher=switcher,
+                )
+            )
+        return cores
 
     def _simulate(self, scenario: ServingScenario, sink) -> ClusterResult:
-        nodes = [
-            ClusterNode(i, sched, self.max_queue)
-            for i, sched in enumerate(self.schedulers)
-        ]
+        alive_ids = set(range(len(self.schedulers)))
+        cores = self._make_cores(alive_ids)
         router = make_router(self._router_spec, shard_map=self.shard_map)
         router.reset()
         cluster = ClusterResult(
             result=sink.result,
-            n_nodes=len(nodes),
+            n_nodes=len(cores),
             router=router.name,
             replication=self.shard_map.replication,
-            per_node_served=[0] * len(nodes),
-            per_node_dropped=[0] * len(nodes),
+            per_node_served=[0] * len(cores),
+            per_node_dropped=[0] * len(cores),
         )
-        alive_ids = set(range(len(nodes)))
         coverage_ok = True
         # Indices of failure-displaced queries awaiting re-admission; a
         # query only counts as rerouted once a surviving node accepts it
         # (a re-injection shed at the edge is an edge drop, not a reroute).
         reinjected: set[int] = set()
 
-        arrivals = sorted(scenario.queries, key=lambda q: q.arrival_s)
-        events: list[tuple] = [
-            (q.arrival_s, i, _ARRIVAL, q) for i, q in enumerate(arrivals)
-        ]
-        seq = len(events)
+        def admit(query, now):
+            candidates = [c for c in cores if c.alive and not c.full]
+            if not candidates or not coverage_ok:
+                reinjected.discard(query.index)
+                drop_query(sink, query, scenario.sla_for(query))
+                cluster.edge_drops += 1
+                return None
+            core = router.select_node(query, now, candidates)
+            if query.index in reinjected:
+                reinjected.discard(query.index)
+                cluster.rerouted += 1
+            return core
+
+        def on_control(kind, payload, now, loop):
+            nonlocal coverage_ok
+            core = cores[payload]
+            if not core.alive:
+                return
+            alive_ids.discard(payload)
+            cluster.failed_nodes.append(payload)
+            displaced, wasted = core.displace()
+            cluster.wasted_energy_j += wasted
+            coverage_ok = bool(alive_ids) and self.shard_map.coverage_ok(
+                alive_ids
+            )
+            if coverage_ok:
+                # Surviving replicas hold every shard: re-inject the
+                # displaced queries at the failure instant for re-routing.
+                for query in displaced:
+                    reinjected.add(query.index)
+                    loop.push(now, ARRIVAL, query)
+            else:
+                cluster.lost += len(displaced)
+                for query in displaced:
+                    drop_query(sink, query, scenario.sla_for(query))
+
+        extra_events = ()
         if self.fail_at is not None:
-            events.append((self.fail_at, seq, _FAIL, self.fail_node))
-            seq += 1
-        heapq.heapify(events)
+            extra_events = ((self.fail_at, CONTROL, self.fail_node),)
+        run_kernel(
+            cores, scenario, sink, admit,
+            extra_events=extra_events, on_control=on_control,
+        )
 
-        while events:
-            time, event_seq, kind, payload = heapq.heappop(events)
-
-            if kind == _ARRIVAL:
-                query = payload
-                candidates = [n for n in nodes if n.alive and not n.full]
-                if not candidates or not coverage_ok:
-                    reinjected.discard(query.index)
-                    self._drop(query, scenario, sink)
-                    cluster.edge_drops += 1
-                    continue
-                node = router.select_node(query, time, candidates)
-                if query.index in reinjected:
-                    reinjected.discard(query.index)
-                    cluster.rerouted += 1
-                node.pending.append(query)
-                node.inflight_queries += 1
-                if len(node.pending) >= self.max_batch_size:
-                    seq = self._dispatch(
-                        node, time, scenario, sink, cluster, alive_ids,
-                        events, seq,
-                    )
-                elif not node.armed:
-                    heapq.heappush(
-                        events,
-                        (
-                            time + self.batch_timeout_s, seq, _FLUSH,
-                            (node.node_id, node.generation),
-                        ),
-                    )
-                    seq += 1
-                    node.armed = True
-
-            elif kind == _FLUSH:
-                node_id, generation = payload
-                node = nodes[node_id]
-                if node.alive and generation == node.generation and node.pending:
-                    seq = self._dispatch(
-                        node, time, scenario, sink, cluster, alive_ids,
-                        events, seq,
-                    )
-
-            elif kind == _FINISH:
-                node = nodes[payload]
-                batch = node.in_flight.pop(event_seq, None)
-                if batch is None:
-                    continue  # invalidated by a failure
-                for outcome in batch.outcomes:
-                    sink.observe(*outcome)
-                node.inflight_queries -= len(batch.queries)
-                cluster.per_node_served[payload] += len(batch.queries)
-
-            elif kind == _FAIL:
-                node = nodes[payload]
-                if not node.alive:
-                    continue
-                node.alive = False
-                alive_ids.discard(payload)
-                cluster.failed_nodes.append(payload)
-                coverage_ok = bool(alive_ids) and self.shard_map.coverage_ok(
-                    alive_ids
-                )
-                displaced = list(node.pending)
-                for batch in node.in_flight.values():
-                    displaced.extend(batch.queries)
-                    cluster.wasted_energy_j += batch.energy_j
-                node.pending = []
-                node.in_flight = {}
-                node.inflight_queries = 0
-                node.armed = False
-                if coverage_ok:
-                    # Surviving replicas hold every shard: re-inject the
-                    # displaced queries at the failure instant for re-routing.
-                    for query in displaced:
-                        reinjected.add(query.index)
-                        heapq.heappush(events, (time, seq, _ARRIVAL, query))
-                        seq += 1
-                else:
-                    cluster.lost += len(displaced)
-                    for query in displaced:
-                        self._drop(query, scenario, sink)
-
+        for core in cores:
+            cluster.per_node_served[core.node_id] = core.served
+            cluster.per_node_dropped[core.node_id] = core.shed
+            if core.switcher is not None:
+                cluster.switches += len(core.switcher.events)
+                cluster.switch_overhead_s += core.switcher.total_overhead_s
         return cluster
 
     # ---- helpers ---------------------------------------------------------
 
-    def _drop(self, query: Query, scenario, sink) -> None:
-        sink.observe(
-            query.index, query.size, query.arrival_s, query.arrival_s,
-            query.arrival_s, "DROPPED", 0.0, 0.0, True,
-            scenario.sla_for(query),
-        )
-
-    def _exchange_s(self, node: ClusterNode, batch, n_alive: int) -> float:
+    def _exchange_s(self, core: EngineCore, batch, alive_ids: set[int]) -> float:
+        """Per-batch all-to-all embedding exchange on the cluster fabric."""
         remote = sum(
             q.size
             * self.shard_map.remote_bytes_per_sample(
-                node.node_id, self.shard_map.group_of(q)
+                core.node_id, self.shard_map.group_of(q)
             )
             for q in batch
         )
-        return alltoall_exchange_time(remote, n_alive, self.link)
-
-    def _dispatch(
-        self, node: ClusterNode, now: float, scenario, sink,
-        cluster: ClusterResult, alive_ids: set[int], events: list, seq: int,
-    ) -> int:
-        batch = node.pending
-        node.pending = []
-        node.generation += 1
-        node.armed = False
-
-        total_size = sum(q.size for q in batch)
-        decision = node.scheduler.select_batch(
-            total_size, scenario.sla_s, now, node.free_at
-        )
-        path = decision.path
-        servers = node.free_at[path.device.name]
-        server = min(range(len(servers)), key=servers.__getitem__)
-        projected_start = max(now, servers[server])
-        exchange_s = self._exchange_s(node, batch, len(alive_ids))
-
-        def on_shed(query, sla_q):
-            self._drop(query, scenario, sink)
-            node.inflight_queries -= 1
-            cluster.per_node_dropped[node.node_id] += 1
-
-        admitted = shed_batch(
-            self.policy, batch, projected_start,
-            decision.service_s + exchange_s, scenario, on_shed,
-        )
-        if not admitted:
-            return seq
-
-        admitted_size = total_size
-        compute_s = decision.service_s
-        if len(admitted) != len(batch):
-            admitted_size = sum(q.size for q in admitted)
-            compute_s = path.latency(admitted_size)
-            exchange_s = self._exchange_s(node, admitted, len(alive_ids))
-        service_s = compute_s + exchange_s
-        start = projected_start
-        finish = start + service_s
-        servers[server] = finish
-        node.scheduler.on_batch_dispatched(path, admitted_size, start, finish)
-
-        batch_energy = 0.0
-        if self.track_energy:
-            # Energy covers the device pass; the fabric exchange is priced
-            # in time only (NIC power is negligible next to the device TDP).
-            batch_energy = query_energy(path, admitted_size, compute_s)
-        outcomes = []
-        for query in admitted:
-            energy = apportion_energy(
-                batch_energy, query.size, len(admitted), admitted_size
-            )
-            outcomes.append((
-                query.index, query.size, query.arrival_s, start, finish,
-                path.label, path.accuracy, energy, False,
-                scenario.sla_for(query),
-            ))
-        node.in_flight[seq] = _InFlight(
-            queries=admitted, outcomes=outcomes, energy_j=batch_energy
-        )
-        heapq.heappush(events, (finish, seq, _FINISH, node.node_id))
-        return seq + 1
+        return alltoall_exchange_time(remote, len(alive_ids), self.link)

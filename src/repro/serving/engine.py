@@ -1,0 +1,503 @@
+"""The serving kernel: one event loop shared by every engine in the repo.
+
+PR 1 built an event-driven single-node engine; PR 2 composed N copies of
+it into a cluster — and immediately had to patch the two hand-rolled
+loops against drift (``shed_batch`` / ``apportion_energy`` were extracted
+precisely because the copies diverged). This module collapses the
+duplication: batching, dispatch, shedding, backpressure accounting, and
+energy apportionment now exist in exactly one place, and both
+:class:`~repro.serving.simulator.ServingSimulator` (a thin 1-node façade)
+and :class:`~repro.serving.cluster.ClusterSimulator` (N kernel instances
+behind a router) are drivers over these pieces.
+
+The kernel's vocabulary:
+
+:class:`EventLoop`
+    A heap of ``(time, seq, kind, payload)`` tuples. Arrivals are seeded
+    with sequence numbers ``0..n-1`` in arrival order, so simultaneous
+    arrivals keep submission order and pop before any timer armed at the
+    same instant; every later push gets the next sequence number.
+:class:`Batcher`
+    The admission queue of one engine: coalesces arrivals until the batch
+    holds ``max_batch_size`` queries or the oldest has waited
+    ``batch_timeout_s``. Flush timers are *generation-stamped*: a timer
+    armed for generation ``g`` is ignored once a full batch already
+    dispatched generation ``g`` — stale timers cost one heap pop, nothing
+    else.
+:class:`EngineCore`
+    One node's serving kernel: scheduler + :class:`~repro.serving.devices.
+    DeviceTimeline` + :class:`Batcher` + shed policy. ``dispatch`` routes
+    the batch once (``Scheduler.select_batch``), places it on the routed
+    device's earliest-free server, offers every member to the shed
+    policy, re-prices the pass on the surviving samples, and charges the
+    device timeline. A ``service_extra`` hook prices per-batch costs the
+    node itself cannot see (the cluster's all-to-all embedding exchange);
+    a :class:`~repro.core.switching.SwitchController` may ride along to
+    swap the device's resident representation between batches.
+:func:`run_kernel`
+    The shared driver: pops events and demultiplexes them onto the cores.
+    ``admit(query, now)`` decides which core (if any) receives an arrival
+    — the single-node façade always answers its only core, the cluster
+    answers through its router, backpressure, and coverage checks.
+
+Outcome commit timing is the one real divergence between the façades:
+a failure-free single node records outcomes at *dispatch* (keeping the
+record order bit-for-bit identical to the seed reference loop), while the
+cluster defers them to the batch's *finish* event so a node failure can
+still displace in-flight batches and re-inject their queries
+(``defer_commit=True``). Everything upstream of that commit is shared.
+
+Sinks are pluggable: :class:`RecordSink` materializes every
+:class:`~repro.serving.metrics.QueryRecord` (exact percentiles),
+:class:`StreamingSink` folds outcomes into constant-memory
+:class:`~repro.serving.metrics.StreamingMetrics`.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.hardware.energy import average_power
+from repro.hardware.latency import estimate_breakdown
+from repro.serving.devices import DeviceTimeline
+from repro.serving.metrics import QueryRecord, ServingResult, StreamingMetrics
+from repro.serving.policies import NoShed, ShedPolicy
+
+# Event kinds, ordered only for readability — ties resolve by sequence
+# number, never by kind.
+ARRIVAL = 0
+FLUSH = 1
+FINISH = 2
+CONTROL = 3  # façade-defined (the cluster's node-failure events)
+SWITCH = 4  # representation-switch completion
+
+
+# ---- shared admission / pricing helpers ----------------------------------
+
+
+def shed_batch(
+    policy: ShedPolicy, batch, projected_start: float, service_s: float,
+    scenario, on_shed,
+) -> list:
+    """Split a routed batch into admitted queries, reporting shed ones.
+
+    The admission semantics — wait measured from arrival to projected
+    start, the batch's projected service time, per-tenant SLA resolution —
+    live here, in one place, for every engine. ``on_shed(query, sla_s)``
+    is called for every query the policy refuses.
+    """
+    if isinstance(policy, NoShed):
+        return batch
+    admitted = []
+    for query in batch:
+        sla_q = scenario.sla_for(query)
+        wait = projected_start - query.arrival_s
+        if policy.admit(wait, service_s, sla_q):
+            admitted.append(query)
+        else:
+            on_shed(query, sla_q)
+    return admitted
+
+
+def apportion_energy(
+    batch_energy: float, query_size: int, admitted_count: int,
+    admitted_size: int,
+) -> float:
+    """One query's energy share of a served batch, by sample count.
+
+    A singleton batch keeps the exact per-query value (bit-for-bit with
+    the reference loop); larger batches split by each query's share of
+    the batch's samples.
+    """
+    if admitted_count == 1:
+        return batch_energy
+    return batch_energy * query_size / admitted_size
+
+
+def query_energy(path, query_size: int, service_s: float) -> float:
+    """Energy of one device pass (utilization-aware when a model is attached)."""
+    model = path.extra.get("model")
+    if model is None:
+        # Utilization-agnostic fallback.
+        return path.device.tdp_w * 0.5 * service_s
+    breakdown = estimate_breakdown(
+        path.rep,
+        model,
+        path.device,
+        query_size,
+        encoder_hit_rate=path.encoder_hit_rate,
+        decoder_speedup=path.decoder_speedup,
+    )
+    return average_power(path.device, breakdown) * service_s
+
+
+def drop_query(sink, query, sla_s: float) -> None:
+    """Record one query shed before execution (policy, edge, or coverage)."""
+    sink.observe(
+        query.index, query.size, query.arrival_s, query.arrival_s,
+        query.arrival_s, "DROPPED", 0.0, 0.0, True, sla_s,
+    )
+
+
+# ---- metric sinks --------------------------------------------------------
+
+
+class RecordSink:
+    """Materialize every outcome as a QueryRecord (exact metrics)."""
+
+    def __init__(self, scheduler_name: str, sla_s: float) -> None:
+        self.result = ServingResult(scheduler_name=scheduler_name, sla_s=sla_s)
+
+    def observe(self, index, size, arrival_s, start_s, finish_s, path_label,
+                accuracy, energy_j, dropped, sla_s) -> None:
+        self.result.records.append(
+            QueryRecord(
+                index=index, size=size, arrival_s=arrival_s, start_s=start_s,
+                finish_s=finish_s, path_label=path_label, accuracy=accuracy,
+                energy_j=energy_j, dropped=dropped,
+                # Only tenant-specific targets are stamped on the record, so
+                # single-SLA runs stay identical to the reference loop's.
+                sla_s=None if sla_s == self.result.sla_s else sla_s,
+            )
+        )
+
+
+class StreamingSink:
+    """Fold outcomes into constant-memory running aggregates."""
+
+    def __init__(self, scheduler_name: str, sla_s: float) -> None:
+        self.result = StreamingMetrics(scheduler_name=scheduler_name, sla_s=sla_s)
+
+    def observe(self, index, size, arrival_s, start_s, finish_s, path_label,
+                accuracy, energy_j, dropped, sla_s) -> None:
+        self.result.observe(
+            size, arrival_s, start_s, finish_s, path_label, accuracy,
+            energy_j=energy_j, dropped=dropped, sla_s=sla_s,
+        )
+
+
+# ---- event loop ----------------------------------------------------------
+
+
+class EventLoop:
+    """Heap-ordered events with a monotone sequence for deterministic ties."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple] = []
+        self._seq = 0
+
+    def seed_arrivals(self, queries) -> None:
+        """Seed the loop with arrivals, sequence-stamped in arrival order."""
+        arrivals = sorted(queries, key=lambda q: q.arrival_s)
+        self._heap = [
+            (q.arrival_s, i, ARRIVAL, q) for i, q in enumerate(arrivals)
+        ]
+        self._seq = len(self._heap)
+        heapq.heapify(self._heap)
+
+    def push(self, time: float, kind: int, payload) -> int:
+        """Schedule an event; returns its sequence number (a stable id)."""
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, kind, payload))
+        return seq
+
+    def pop(self) -> tuple:
+        return heapq.heappop(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class Batcher:
+    """Admission queue with generation-stamped flush timers."""
+
+    __slots__ = ("max_batch_size", "timeout_s", "pending", "generation", "armed")
+
+    def __init__(self, max_batch_size: int, timeout_s: float) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if timeout_s < 0:
+            raise ValueError("batch_timeout_s must be non-negative")
+        self.max_batch_size = max_batch_size
+        self.timeout_s = timeout_s
+        self.pending: list = []
+        self.generation = 0  # bumped per dispatch; stale timers are skipped
+        self.armed = False
+
+    def add(self, query) -> bool:
+        """Queue one arrival; True when the batch is full and must flush."""
+        self.pending.append(query)
+        return len(self.pending) >= self.max_batch_size
+
+    def take(self) -> list:
+        """Claim the pending batch for dispatch and invalidate its timer."""
+        batch = self.pending
+        self.pending = []
+        self.generation += 1
+        self.armed = False
+        return batch
+
+    def clear(self) -> list:
+        """Drop the pending queries without dispatching (node failure)."""
+        batch = self.pending
+        self.pending = []
+        self.armed = False
+        return batch
+
+
+class _InFlight:
+    """One dispatched batch awaiting its finish event."""
+
+    __slots__ = ("queries", "outcomes", "energy_j")
+
+    def __init__(self, queries, outcomes, energy_j) -> None:
+        self.queries = queries
+        self.outcomes = outcomes
+        self.energy_j = energy_j
+
+
+# ---- the kernel ----------------------------------------------------------
+
+
+class EngineCore:
+    """One node's serving kernel: batcher + device timeline + shed policy.
+
+    ``service_extra(core, batch)`` prices per-batch service cost the node
+    cannot see locally (the cluster's fabric exchange); ``defer_commit``
+    moves outcome commit from dispatch to the finish event so a failure
+    can invalidate in-flight batches; ``switcher`` is an optional
+    :class:`~repro.core.switching.SwitchController` observing dispatches.
+
+    The attributes routers key on — ``node_id``, ``inflight_queries``,
+    ``alive``, ``full``, ``earliest_free_delay`` — live here, so a core
+    *is* the cluster's node object.
+    """
+
+    __slots__ = (
+        "node_id", "scheduler", "policy", "batcher", "timeline", "max_queue",
+        "track_energy", "defer_commit", "service_extra", "switcher",
+        "alive", "in_flight", "inflight_queries", "served", "shed",
+    )
+
+    def __init__(
+        self,
+        scheduler,
+        policy: ShedPolicy,
+        *,
+        max_batch_size: int = 1,
+        batch_timeout_s: float = 0.0,
+        node_id: int = 0,
+        max_queue: int = 0,
+        track_energy: bool = True,
+        defer_commit: bool = False,
+        service_extra=None,
+        switcher=None,
+    ) -> None:
+        if max_queue < 0:
+            raise ValueError("max_queue must be non-negative")
+        self.node_id = node_id
+        self.scheduler = scheduler
+        self.policy = policy
+        self.batcher = Batcher(max_batch_size, batch_timeout_s)
+        self.timeline = DeviceTimeline(scheduler.paths)
+        self.max_queue = max_queue
+        self.track_energy = track_energy
+        self.defer_commit = defer_commit
+        self.service_extra = service_extra
+        self.switcher = switcher
+        self.alive = True
+        self.in_flight: dict[int, _InFlight] = {}
+        self.inflight_queries = 0  # admission queue + dispatched, unfinished
+        self.served = 0
+        self.shed = 0
+        if switcher is not None:
+            switcher.attach(self)
+
+    # ---- router-facing state --------------------------------------------
+
+    @property
+    def full(self) -> bool:
+        return self.max_queue > 0 and self.inflight_queries >= self.max_queue
+
+    def earliest_free_delay(self, now: float) -> float:
+        return self.timeline.earliest_free_delay(now)
+
+    @property
+    def free_at(self) -> dict[str, list[float]]:
+        """The scheduler-facing device map (owned by the timeline)."""
+        return self.timeline.free_at
+
+    # ---- event handlers --------------------------------------------------
+
+    def enqueue(self, query, now: float, loop: EventLoop, scenario, sink) -> None:
+        """Admit one arrival: coalesce, and dispatch or arm the timer."""
+        self.inflight_queries += 1
+        batcher = self.batcher
+        if batcher.add(query):
+            self.dispatch(now, loop, scenario, sink)
+        elif not batcher.armed:
+            batcher.armed = True
+            loop.push(
+                now + batcher.timeout_s, FLUSH, (self.node_id, batcher.generation)
+            )
+
+    def on_flush(self, generation: int, now: float, loop: EventLoop,
+                 scenario, sink) -> None:
+        """A flush timer fired; dispatch unless it went stale."""
+        if (
+            self.alive
+            and generation == self.batcher.generation
+            and self.batcher.pending
+        ):
+            self.dispatch(now, loop, scenario, sink)
+
+    def on_finish(self, seq: int, sink) -> None:
+        """A dispatched batch completed; commit deferred outcomes."""
+        batch = self.in_flight.pop(seq, None)
+        if batch is None:
+            return  # invalidated by a failure
+        for outcome in batch.outcomes:
+            sink.observe(*outcome)
+        self.inflight_queries -= len(batch.queries)
+        self.served += len(batch.queries)
+
+    def on_switch_complete(self, device: str, now: float) -> None:
+        if self.switcher is not None:
+            self.switcher.complete(self, device, now)
+
+    # ---- dispatch (the one copy) ----------------------------------------
+
+    def dispatch(self, now: float, loop: EventLoop, scenario, sink) -> None:
+        """Route, shed, price, and commit the pending batch."""
+        batch = self.batcher.take()
+        total_size = sum(q.size for q in batch)
+        decision = self.scheduler.select_batch(
+            total_size, scenario.sla_s, now, self.timeline.free_at
+        )
+        path = decision.path
+        device = path.device.name
+        server, free = self.timeline.earliest(device)
+        projected_start = max(now, free)
+        extra_s = 0.0
+        if self.service_extra is not None:
+            extra_s = self.service_extra(self, batch)
+
+        def on_shed(query, sla_q):
+            drop_query(sink, query, sla_q)
+            self.inflight_queries -= 1
+            self.shed += 1
+
+        admitted = shed_batch(
+            self.policy, batch, projected_start,
+            decision.service_s + extra_s, scenario, on_shed,
+        )
+        if not admitted:
+            if self.switcher is not None:
+                # A fully-shed batch is the strongest overload evidence
+                # there is; the controller must still see its pressure or
+                # a drowning device could never surge to a faster
+                # representation.
+                self.switcher.observe(
+                    self, path, projected_start - batch[0].arrival_s,
+                    total_size, scenario, now, loop,
+                    batch_queries=len(batch),
+                )
+            return
+
+        admitted_size = total_size
+        compute_s = decision.service_s
+        if len(admitted) != len(batch):
+            # Re-price the pass on the surviving samples only.
+            admitted_size = sum(q.size for q in admitted)
+            compute_s = path.latency(admitted_size)
+            if self.service_extra is not None:
+                extra_s = self.service_extra(self, admitted)
+        start = projected_start
+        finish = start + compute_s + extra_s
+        self.timeline.commit(device, server, finish)
+        self.scheduler.on_batch_dispatched(path, admitted_size, start, finish)
+
+        batch_energy = 0.0
+        if self.track_energy:
+            # Energy covers the device pass; fabric exchange is priced in
+            # time only (NIC power is negligible next to the device TDP).
+            batch_energy = query_energy(path, admitted_size, compute_s)
+        outcomes = [
+            (
+                query.index, query.size, query.arrival_s, start, finish,
+                path.label, path.accuracy,
+                apportion_energy(
+                    batch_energy, query.size, len(admitted), admitted_size
+                ),
+                False, scenario.sla_for(query),
+            )
+            for query in admitted
+        ]
+        seq = loop.push(finish, FINISH, self.node_id)
+        if self.defer_commit:
+            self.in_flight[seq] = _InFlight(admitted, outcomes, batch_energy)
+        else:
+            for outcome in outcomes:
+                sink.observe(*outcome)
+            self.in_flight[seq] = _InFlight(admitted, (), batch_energy)
+        if self.switcher is not None:
+            # Pressure signal: the batch's worst queueing delay (batching
+            # fill + device queue), i.e. what its oldest member endured.
+            self.switcher.observe(
+                self, path, projected_start - admitted[0].arrival_s,
+                admitted_size, scenario, now, loop,
+                batch_queries=len(admitted),
+            )
+
+    # ---- failure support -------------------------------------------------
+
+    def displace(self) -> tuple[list, float]:
+        """Kill the node: return its displaced queries and wasted energy."""
+        displaced = self.batcher.clear()
+        wasted = 0.0
+        for batch in self.in_flight.values():
+            displaced.extend(batch.queries)
+            wasted += batch.energy_j
+        self.alive = False
+        self.in_flight = {}
+        self.inflight_queries = 0
+        return displaced, wasted
+
+
+def run_kernel(cores, scenario, sink, admit, extra_events=(), on_control=None):
+    """Drive engine cores off one shared event heap until it drains.
+
+    ``admit(query, now) -> EngineCore | None`` places each arrival (None
+    means the arrival was consumed at the edge — the admitter records the
+    drop itself). ``extra_events`` seeds façade-specific events (the
+    cluster's failure); ``on_control(kind, payload, now, loop)`` handles
+    any kind the kernel does not know.
+    """
+    loop = EventLoop()
+    loop.seed_arrivals(scenario.queries)
+    for time, kind, payload in extra_events:
+        loop.push(time, kind, payload)
+
+    while loop:
+        time, seq, kind, payload = loop.pop()
+        if kind == ARRIVAL:
+            core = admit(payload, time)
+            if core is not None:
+                core.enqueue(payload, time, loop, scenario, sink)
+        elif kind == FLUSH:
+            node_id, generation = payload
+            cores[node_id].on_flush(generation, time, loop, scenario, sink)
+        elif kind == FINISH:
+            cores[payload].on_finish(seq, sink)
+        elif kind == SWITCH:
+            node_id, device = payload
+            cores[node_id].on_switch_complete(device, time)
+        else:
+            on_control(kind, payload, time, loop)
+    return loop

@@ -1,141 +1,51 @@
-"""Event-driven serving engine with per-device micro-batching.
+"""Single-node serving: a thin façade over the shared serving kernel.
 
-The engine advances a heap-ordered event queue of query **arrivals** and
-batch **flush timers**. Arriving queries coalesce in an admission queue;
-a batch dispatches when it reaches ``max_batch_size`` or when its oldest
-query has waited ``batch_timeout_s`` (flush timer). Each dispatched batch
-is routed *once* via the scheduler's :meth:`~repro.core.online.Scheduler.
-select_batch` hook, placed on the routed path's earliest-free server, and
-served in a single device pass — ``path.latency(total_samples)`` amortizes
-the per-pass base latency across every query in the batch, exactly how
-production recommendation frontends (DeepRecSys-style) batch candidate
-ranking. Queries routed to different paths/devices therefore interleave:
-each device serves its own stream of batches FIFO across its
-``concurrency`` parallel servers.
+The engine mechanics — heap-ordered event loop, generation-stamped flush
+timers, per-device micro-batching, shed policies, energy apportionment —
+live in :mod:`repro.serving.engine`; this module owns only what is
+specific to a one-node deployment: construct one
+:class:`~repro.serving.engine.EngineCore`, admit every arrival to it, and
+choose a metrics sink. The cluster (:mod:`repro.serving.cluster`) drives
+N of the same cores behind a router; neither simulator carries an event
+loop of its own.
 
-Admission is pluggable (:mod:`repro.serving.policies`): at dispatch time
-every query in the batch is offered to the shed policy with its projected
-queue wait and the batch's projected service time; shed queries are
-recorded as dropped and excluded from the batch before the service time is
-finalized.
-
-With batching disabled (``max_batch_size=1``, the default) the engine
+With batching disabled (``max_batch_size=1``, the default) the kernel
 reduces event-for-event to the seed per-query loop — kept verbatim below
-as :class:`ReferenceSimulator` — and reproduces its records exactly; the
-equivalence is pinned by tests. With batching enabled the engine routes
-once per batch instead of once per query, which is what lets 100k+-query
-scenarios simulate several times faster than the reference loop.
+as :class:`ReferenceSimulator`, the parity oracle — and reproduces its
+records exactly; the equivalence is pinned by unit tests, a property test
+over random scenarios (``tests/property/test_prop_engine_parity.py``),
+and ``benchmarks/test_serving_engine_scale.py``. With batching enabled
+the kernel routes once per coalesced batch instead of once per query,
+which is what lets 100k+-query scenarios simulate several times faster
+than the reference loop.
 
-Metrics sinks are also pluggable: :meth:`ServingSimulator.run` materializes
-every :class:`QueryRecord` (exact percentiles, figure reproductions);
-:meth:`ServingSimulator.run_streaming` folds outcomes into constant-memory
-:class:`~repro.serving.metrics.StreamingMetrics` so million-query runs
-never hold per-query state.
+Metrics sinks are pluggable: :meth:`ServingSimulator.run` materializes
+every :class:`~repro.serving.metrics.QueryRecord` (exact percentiles,
+figure reproductions); :meth:`ServingSimulator.run_streaming` folds
+outcomes into constant-memory :class:`~repro.serving.metrics.
+StreamingMetrics` so million-query runs never hold per-query state.
+
+Runtime representation switching: pass a :class:`~repro.core.switching.
+SwitchController` and the kernel lets it swap a device's resident
+representation between batches, charging the load/teardown window as a
+blocking event on the device timeline (see docs/switching.md).
 """
 
 from __future__ import annotations
 
-import heapq
-
 from repro.core.online import Scheduler
-from repro.hardware.energy import average_power
-from repro.hardware.latency import estimate_breakdown
+from repro.serving.engine import (
+    EngineCore,
+    RecordSink,
+    StreamingSink,
+    apportion_energy,  # noqa: F401  (canonical home: repro.serving.engine)
+    query_energy,
+    run_kernel,
+    shed_batch,  # noqa: F401  (canonical home: repro.serving.engine)
+)
 from repro.serving.metrics import QueryRecord, ServingResult, StreamingMetrics
-from repro.serving.policies import NoShed, ShedPolicy, make_policy
+from repro.serving.policies import ShedPolicy, make_policy
 from repro.serving.workload import ServingScenario
-
-_ARRIVAL = 0
-_FLUSH = 1
-
-
-def shed_batch(
-    policy: ShedPolicy, batch, projected_start: float, service_s: float,
-    scenario, on_shed,
-) -> list:
-    """Split a routed batch into admitted queries, reporting shed ones.
-
-    Shared by the single-node engine and the cluster so the admission
-    semantics — wait measured from arrival to projected start, the batch's
-    projected service time, per-tenant SLA resolution — live in one place.
-    ``on_shed(query, sla_s)`` is called for every query the policy refuses.
-    """
-    if isinstance(policy, NoShed):
-        return batch
-    admitted = []
-    for query in batch:
-        sla_q = scenario.sla_for(query)
-        wait = projected_start - query.arrival_s
-        if policy.admit(wait, service_s, sla_q):
-            admitted.append(query)
-        else:
-            on_shed(query, sla_q)
-    return admitted
-
-
-def apportion_energy(
-    batch_energy: float, query_size: int, admitted_count: int,
-    admitted_size: int,
-) -> float:
-    """One query's energy share of a served batch, by sample count.
-
-    A singleton batch keeps the exact per-query value (bit-for-bit with
-    the reference loop); larger batches split by each query's share of
-    the batch's samples.
-    """
-    if admitted_count == 1:
-        return batch_energy
-    return batch_energy * query_size / admitted_size
-
-
-def query_energy(path, query_size: int, service_s: float) -> float:
-    """Energy of one device pass (utilization-aware when a model is attached)."""
-    model = path.extra.get("model")
-    if model is None:
-        # Utilization-agnostic fallback.
-        return path.device.tdp_w * 0.5 * service_s
-    breakdown = estimate_breakdown(
-        path.rep,
-        model,
-        path.device,
-        query_size,
-        encoder_hit_rate=path.encoder_hit_rate,
-        decoder_speedup=path.decoder_speedup,
-    )
-    return average_power(path.device, breakdown) * service_s
-
-
-class _RecordSink:
-    """Materialize every outcome as a QueryRecord (exact metrics)."""
-
-    def __init__(self, scheduler_name: str, sla_s: float) -> None:
-        self.result = ServingResult(scheduler_name=scheduler_name, sla_s=sla_s)
-
-    def observe(self, index, size, arrival_s, start_s, finish_s, path_label,
-                accuracy, energy_j, dropped, sla_s) -> None:
-        self.result.records.append(
-            QueryRecord(
-                index=index, size=size, arrival_s=arrival_s, start_s=start_s,
-                finish_s=finish_s, path_label=path_label, accuracy=accuracy,
-                energy_j=energy_j, dropped=dropped,
-                # Only tenant-specific targets are stamped on the record, so
-                # single-SLA runs stay identical to the reference loop's.
-                sla_s=None if sla_s == self.result.sla_s else sla_s,
-            )
-        )
-
-
-class _StreamingSink:
-    """Fold outcomes into constant-memory running aggregates."""
-
-    def __init__(self, scheduler_name: str, sla_s: float) -> None:
-        self.result = StreamingMetrics(scheduler_name=scheduler_name, sla_s=sla_s)
-
-    def observe(self, index, size, arrival_s, start_s, finish_s, path_label,
-                accuracy, energy_j, dropped, sla_s) -> None:
-        self.result.observe(
-            size, arrival_s, start_s, finish_s, path_label, accuracy,
-            energy_j=energy_j, dropped=dropped, sla_s=sla_s,
-        )
 
 
 class ServingSimulator:
@@ -151,6 +61,11 @@ class ServingSimulator:
     ``max_batch_size=1`` disables coalescing and reproduces the reference
     per-query loop exactly; a timeout of 0 with a larger batch size
     coalesces only same-timestamp arrivals.
+
+    ``switch_controller``: optional :class:`~repro.core.switching.
+    SwitchController` enabling runtime representation switching; its
+    per-run state is reset at every ``run``/``run_streaming`` call, and
+    its ``events`` record the switches of the latest run.
     """
 
     def __init__(
@@ -160,6 +75,7 @@ class ServingSimulator:
         shed_policy: str | ShedPolicy = "none",
         max_batch_size: int = 1,
         batch_timeout_s: float = 0.0,
+        switch_controller=None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -170,6 +86,7 @@ class ServingSimulator:
         self.policy = make_policy(shed_policy)
         self.max_batch_size = max_batch_size
         self.batch_timeout_s = batch_timeout_s
+        self.switch_controller = switch_controller
 
     @property
     def shed_policy(self) -> str:
@@ -180,109 +97,34 @@ class ServingSimulator:
 
     def run(self, scenario: ServingScenario) -> ServingResult:
         """Simulate and return the exact, record-backed result."""
-        sink = _RecordSink(self.scheduler.name, scenario.sla_s)
+        sink = RecordSink(self.scheduler.name, scenario.sla_s)
         self._simulate(scenario, sink)
         return sink.result
 
     def run_streaming(self, scenario: ServingScenario) -> StreamingMetrics:
         """Simulate without materializing per-query records (O(1) memory)."""
-        sink = _StreamingSink(self.scheduler.name, scenario.sla_s)
+        sink = StreamingSink(self.scheduler.name, scenario.sla_s)
         self._simulate(scenario, sink)
         return sink.result
 
-    # ---- event loop ---------------------------------------------------------
+    # ---- kernel façade ---------------------------------------------------
 
     def _simulate(self, scenario: ServingScenario, sink) -> None:
-        free_at: dict[str, list[float]] = {
-            path.device.name: [0.0] * path.device.concurrency
-            for path in self.scheduler.paths
-        }
-        arrivals = sorted(scenario.queries, key=lambda q: q.arrival_s)
-        # (time, seq, kind, payload): arrivals get seq 0..n-1 in sorted
-        # order so simultaneous arrivals keep submission order and pop
-        # before any flush timer armed at the same instant.
-        events: list[tuple] = [
-            (q.arrival_s, i, _ARRIVAL, q) for i, q in enumerate(arrivals)
-        ]
-        heapq.heapify(events)
-        seq = len(events)
-        pending: list = []
-        generation = 0  # bumped per dispatch; stale flush timers are skipped
-        armed = False
-
-        while events:
-            time, _, kind, payload = heapq.heappop(events)
-            if kind == _ARRIVAL:
-                pending.append(payload)
-                if len(pending) >= self.max_batch_size:
-                    self._dispatch(pending, time, free_at, scenario, sink)
-                    pending = []
-                    generation += 1
-                    armed = False
-                elif not armed:
-                    heapq.heappush(
-                        events,
-                        (time + self.batch_timeout_s, seq, _FLUSH, generation),
-                    )
-                    seq += 1
-                    armed = True
-            elif payload == generation and pending:
-                self._dispatch(pending, time, free_at, scenario, sink)
-                pending = []
-                generation += 1
-                armed = False
-
-    def _dispatch(self, batch, now: float, free_at, scenario, sink) -> None:
-        total_size = sum(q.size for q in batch)
-        decision = self.scheduler.select_batch(
-            total_size, scenario.sla_s, now, free_at
+        core = EngineCore(
+            self.scheduler,
+            self.policy,
+            max_batch_size=self.max_batch_size,
+            batch_timeout_s=self.batch_timeout_s,
+            track_energy=self.track_energy,
+            switcher=self.switch_controller,
         )
-        path = decision.path
-        servers = free_at[path.device.name]
-        server = min(range(len(servers)), key=servers.__getitem__)
-        projected_start = max(now, servers[server])
-
-        def on_shed(query, sla_q):
-            sink.observe(
-                query.index, query.size, query.arrival_s, query.arrival_s,
-                query.arrival_s, "DROPPED", 0.0, 0.0, True, sla_q,
-            )
-
-        admitted = shed_batch(
-            self.policy, batch, projected_start, decision.service_s,
-            scenario, on_shed,
-        )
-        if not admitted:
-            return
-
-        admitted_size = total_size
-        service_s = decision.service_s
-        if len(admitted) != len(batch):
-            admitted_size = sum(q.size for q in admitted)
-            service_s = path.latency(admitted_size)
-        start = projected_start
-        finish = start + service_s
-        servers[server] = finish
-        self.scheduler.on_batch_dispatched(path, admitted_size, start, finish)
-
-        batch_energy = 0.0
-        if self.track_energy:
-            batch_energy = query_energy(path, admitted_size, service_s)
-        for query in admitted:
-            energy = apportion_energy(
-                batch_energy, query.size, len(admitted), admitted_size
-            )
-            sink.observe(
-                query.index, query.size, query.arrival_s, start, finish,
-                path.label, path.accuracy, energy, False,
-                scenario.sla_for(query),
-            )
+        run_kernel([core], scenario, sink, admit=lambda query, now: core)
 
 
 class ReferenceSimulator:
-    """The seed per-query FIFO loop, retained verbatim.
+    """The seed per-query FIFO loop, retained verbatim as the parity oracle.
 
-    Serves as the ground truth the event engine must reproduce with
+    Serves as the ground truth the event kernel must reproduce with
     batching disabled, and as the wall-clock baseline the batching engine
     is benchmarked against. Only ``"none"`` and ``"drop-late"`` shedding
     exist here, as in the seed.

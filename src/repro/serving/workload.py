@@ -83,13 +83,16 @@ class ServingScenario:
         qps: float = 1000.0,
         sla_s: float = 0.010,
         seed: int = 0,
+        **process_kwargs,
     ) -> "ServingScenario":
         """Paper-default sizes under an alternative arrival process
-        (``diurnal``, ``mmpp``/``bursty``, ``flash-crowd``, ...)."""
+        (``diurnal``, ``mmpp``/``bursty``, ``flash-crowd``, ...).
+        ``process_kwargs`` forward to the process generator (``amplitude``,
+        ``burst_factor``, ``spike_factor``, ...)."""
         return cls(
             queries=generate_query_set(
                 n_queries=n_queries, mean_size=mean_size, qps=qps, seed=seed,
-                process=process,
+                process=process, **process_kwargs,
             ),
             sla_s=sla_s,
             target_qps=qps,

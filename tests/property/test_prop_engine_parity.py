@@ -1,0 +1,153 @@
+"""The parity oracle: random scenarios through kernel, reference, cluster.
+
+The serving kernel (:mod:`repro.serving.engine`) backs both the
+single-node :class:`~repro.serving.simulator.ServingSimulator` and the
+:class:`~repro.serving.cluster.ClusterSimulator`; the seed per-query loop
+is retained as :class:`~repro.serving.simulator.ReferenceSimulator`.
+These properties pin the agreements across random small scenarios —
+every shed policy, batching on and off, single- and multi-tenant:
+
+- **kernel == 1-node cluster**, record for record, always (a 1-node
+  cluster adds zero exchange and trivial routing, nothing else);
+- **kernel == reference loop**, record for record, whenever the
+  reference's semantics apply (batching disabled, ``none`` /
+  ``drop-late`` shedding, single-tenant SLA).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.sharding import greedy_shard
+from repro.core.online import MultiPathScheduler, StaticScheduler
+from repro.data.queries import Query, QuerySet
+from repro.hardware.catalog import CPU_BROADWELL, GPU_V100
+from repro.serving.cluster import ClusterSimulator
+from repro.serving.simulator import ReferenceSimulator, ServingSimulator
+from repro.serving.workload import ServingScenario, TenantSpec
+
+from tests.unit.test_online import fake_path
+
+POLICIES = ("none", "drop-late", "deadline-aware")
+BATCH_SIZES = (1, 8)
+
+gaps = st.lists(
+    st.floats(min_value=0.0, max_value=0.02), min_size=2, max_size=40
+)
+query_sizes = st.lists(
+    st.integers(min_value=1, max_value=512), min_size=2, max_size=40
+)
+policies = st.sampled_from(POLICIES)
+batches = st.sampled_from(BATCH_SIZES)
+slas = st.floats(min_value=5e-4, max_value=0.05)
+schedulers = st.sampled_from(["static", "multi"])
+
+
+def build_scheduler(kind):
+    if kind == "static":
+        return StaticScheduler(
+            [fake_path("table", CPU_BROADWELL, 78.79, 2e-3, label="T")]
+        )
+    return MultiPathScheduler([
+        fake_path("table", CPU_BROADWELL, 78.79, 2e-3, label="T"),
+        fake_path("hybrid", GPU_V100, 78.98, 4e-3, label="H"),
+    ])
+
+
+def build_scenario(gaps, sizes, sla_s, tenants=False):
+    n = min(len(gaps), len(sizes))
+    arrival = 0.0
+    queries = []
+    for i in range(n):
+        arrival += gaps[i]
+        queries.append(Query(
+            index=i, size=sizes[i], arrival_s=arrival,
+            tenant=("even" if i % 2 == 0 else "odd") if tenants else "",
+        ))
+    scenario = ServingScenario(queries=QuerySet(queries=queries), sla_s=sla_s)
+    if tenants:
+        # Strict even tenant, lenient odd tenant.
+        scenario.sla_by_tenant = {"even": sla_s, "odd": 10 * sla_s}
+    return scenario
+
+
+def one_node_cluster(scheduler, **kwargs):
+    plan = greedy_shard([1000, 2000, 500], 16, 1)
+    return ClusterSimulator(scheduler, plan, **kwargs)
+
+
+def sorted_records(result):
+    return sorted(result.records, key=lambda r: r.index)
+
+
+@settings(max_examples=40, deadline=None)
+@given(gaps=gaps, sizes=query_sizes, sla=slas, policy=policies,
+       batch=batches, sched_kind=schedulers, tenants=st.booleans())
+def test_kernel_matches_one_node_cluster(
+    gaps, sizes, sla, policy, batch, sched_kind, tenants
+):
+    """Every policy x batch size x tenancy: the 1-node cluster reproduces
+    the single-node kernel record for record."""
+    scheduler = build_scheduler(sched_kind)
+    scenario = build_scenario(gaps, sizes, sla, tenants=tenants)
+    engine = ServingSimulator(
+        scheduler, shed_policy=policy, max_batch_size=batch,
+        batch_timeout_s=0.001,
+    )
+    cluster = one_node_cluster(
+        scheduler, shed_policy=policy, max_batch_size=batch,
+        batch_timeout_s=0.001,
+    )
+    expected = sorted_records(engine.run(scenario))
+    got = sorted_records(cluster.run(scenario).result)
+    assert got == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(gaps=gaps, sizes=query_sizes, sla=slas,
+       policy=st.sampled_from(["none", "drop-late"]),
+       sched_kind=schedulers)
+def test_kernel_matches_reference_loop(gaps, sizes, sla, policy, sched_kind):
+    """Batching disabled + seed policies: the kernel reproduces the seed
+    per-query loop bit for bit, energy included."""
+    scheduler = build_scheduler(sched_kind)
+    scenario = build_scenario(gaps, sizes, sla)
+    reference = ReferenceSimulator(scheduler, shed_policy=policy)
+    engine = ServingSimulator(scheduler, shed_policy=policy)
+    assert engine.run(scenario).records == reference.run(scenario).records
+
+
+@settings(max_examples=25, deadline=None)
+@given(gaps=gaps, sizes=query_sizes, sla=slas, policy=policies,
+       batch=batches)
+def test_streaming_counters_match_exact(gaps, sizes, sla, policy, batch):
+    """The two sinks fold the same outcomes: counter metrics agree."""
+    scheduler = build_scheduler("multi")
+    scenario = build_scenario(gaps, sizes, sla, tenants=True)
+    sim = ServingSimulator(
+        scheduler, shed_policy=policy, max_batch_size=batch,
+        batch_timeout_s=0.001,
+    )
+    exact = sim.run(scenario)
+    stream = sim.run_streaming(scenario)
+    assert stream.raw_throughput == exact.raw_throughput
+    assert stream.violation_rate == exact.violation_rate
+    assert stream.drop_rate == exact.drop_rate
+    assert stream.switching_breakdown() == exact.switching_breakdown()
+
+
+@settings(max_examples=25, deadline=None)
+@given(gaps=gaps, sizes=query_sizes, sla=slas, policy=policies,
+       batch=batches, tenants=st.booleans())
+def test_every_query_accounted_exactly_once(
+    gaps, sizes, sla, policy, batch, tenants
+):
+    """No query is lost or duplicated by batching, shedding, or tenancy."""
+    scheduler = build_scheduler("multi")
+    scenario = build_scenario(gaps, sizes, sla, tenants=tenants)
+    sim = ServingSimulator(
+        scheduler, shed_policy=policy, max_batch_size=batch,
+        batch_timeout_s=0.001,
+    )
+    result = sim.run(scenario)
+    assert sorted(r.index for r in result.records) == (
+        [q.index for q in scenario.queries]
+    )

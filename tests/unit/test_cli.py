@@ -104,6 +104,36 @@ class TestCommands:
         assert code == 2
         assert "--nodes" in capsys.readouterr().err
 
+    def test_serve_switching(self, capsys):
+        code = main([
+            "serve", "--dataset", "kaggle", "--queries", "300", "--qps",
+            "2000", "--switching", "--max-batch", "16",
+            "--batch-timeout-ms", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "runtime representation switching" in out
+        assert "switches" in out
+
+    def test_serve_switching_flag_hygiene(self, capsys):
+        # --switch-cooldown without --switching must not be silently eaten.
+        code = main(["serve", "--switch-cooldown", "100", "--queries", "10"])
+        assert code == 2
+        assert "--switching" in capsys.readouterr().err
+        # Switching is single-node; the cluster API handles fleets.
+        code = main([
+            "serve", "--switching", "--nodes", "2", "--queries", "10",
+        ])
+        assert code == 2
+        assert "single-node" in capsys.readouterr().err
+        # --switching builds its own deployment; a named scheduler clashes.
+        code = main([
+            "serve", "--switching", "--scheduler", "table-cpu",
+            "--queries", "10",
+        ])
+        assert code == 2
+        assert "--scheduler" in capsys.readouterr().err
+
     def test_characterize(self, capsys):
         code = main(["characterize", "--dataset", "kaggle", "--batch", "256"])
         assert code == 0

@@ -102,6 +102,124 @@ class TestArrivalTimes:
         assert np.all(np.diff(times) >= 0)
 
 
+class TestArrivalDeterminism:
+    """Fixed seed => identical streams, for every vectorized process."""
+
+    @pytest.mark.parametrize(
+        "process", ["poisson", "uniform", "diurnal", "mmpp", "flash-crowd"]
+    )
+    def test_same_seed_same_stream(self, process):
+        a = arrival_times(
+            2000, qps=800.0, rng=np.random.default_rng(9), process=process
+        )
+        b = arrival_times(
+            2000, qps=800.0, rng=np.random.default_rng(9), process=process
+        )
+        np.testing.assert_array_equal(a, b)
+        assert a.shape == (2000,)
+
+    @pytest.mark.parametrize(
+        "process", ["poisson", "uniform", "diurnal", "mmpp", "flash-crowd"]
+    )
+    def test_zero_queries_yield_empty_stream(self, process):
+        times = arrival_times(0, qps=100.0, process=process)
+        assert times.shape == (0,)
+
+    @pytest.mark.parametrize("process", ["diurnal", "mmpp", "flash-crowd"])
+    def test_different_seeds_differ(self, process):
+        a = arrival_times(
+            500, qps=800.0, rng=np.random.default_rng(1), process=process
+        )
+        b = arrival_times(
+            500, qps=800.0, rng=np.random.default_rng(2), process=process
+        )
+        assert not np.array_equal(a, b)
+
+
+class TestProcessParameters:
+    """arrival_times forwards process parameters to the generators."""
+
+    def test_diurnal_amplitude_changes_oscillation(self):
+        calm = arrival_times(
+            30_000, qps=1000.0, rng=np.random.default_rng(4),
+            process="diurnal", amplitude=0.1,
+        )
+        wild = arrival_times(
+            30_000, qps=1000.0, rng=np.random.default_rng(4),
+            process="diurnal", amplitude=0.9,
+        )
+
+        def swing(times):
+            counts, _ = np.histogram(times, bins=np.arange(0.0, times[-1], 2.5))
+            return counts.max() / max(1, counts.min())
+
+        assert swing(wild) > swing(calm)
+
+    def test_mmpp_burst_factor_raises_variability(self):
+        mild = arrival_times(
+            30_000, qps=1000.0, rng=np.random.default_rng(5),
+            process="mmpp", burst_factor=1.5,
+        )
+        harsh = arrival_times(
+            30_000, qps=1000.0, rng=np.random.default_rng(5),
+            process="mmpp", burst_factor=4.5,
+        )
+
+        def cv2(times):
+            deltas = np.diff(times)
+            return deltas.var() / deltas.mean() ** 2
+
+        assert cv2(harsh) > cv2(mild)
+
+    def test_flash_crowd_spike_position_honored(self):
+        times = arrival_times(
+            20_000, qps=1000.0, rng=np.random.default_rng(6),
+            process="flash-crowd", spike_start_frac=0.2,
+            spike_duration_frac=0.1, spike_factor=6.0,
+        )
+        horizon = 20.0
+        early = np.sum((times >= 0.2 * horizon) & (times < 0.3 * horizon))
+        late = np.sum((times >= 0.6 * horizon) & (times < 0.7 * horizon))
+        assert early > 3 * late
+
+    def test_stationary_processes_reject_parameters(self):
+        with pytest.raises(ValueError, match="no extra parameters"):
+            arrival_times(10, qps=10.0, process="poisson", amplitude=0.5)
+        with pytest.raises(ValueError, match="no extra parameters"):
+            arrival_times(10, qps=10.0, process="uniform", spike_factor=2.0)
+
+    def test_mmpp_parameter_validation(self):
+        with pytest.raises(ValueError):
+            arrival_times(10, qps=10.0, process="mmpp", burst_factor=1.0)
+        with pytest.raises(ValueError):
+            arrival_times(10, qps=10.0, process="mmpp", duty=0.0)
+        with pytest.raises(ValueError):
+            arrival_times(
+                10, qps=10.0, process="mmpp", burst_factor=6.0, duty=0.2
+            )
+
+    def test_diurnal_amplitude_validation(self):
+        with pytest.raises(ValueError):
+            arrival_times(10, qps=10.0, process="diurnal", amplitude=1.0)
+
+    def test_flash_crowd_factor_validation(self):
+        with pytest.raises(ValueError):
+            arrival_times(10, qps=10.0, process="flash-crowd", spike_factor=0.5)
+
+
+class TestMmppDistribution:
+    def test_burst_windows_are_denser_than_calm_windows(self):
+        """The on-off structure is visible: the densest 1 s windows run at
+        a multiple of the quietest ones."""
+        times = arrival_times(
+            50_000, qps=1000.0, rng=np.random.default_rng(12), process="mmpp"
+        )
+        counts, _ = np.histogram(times, bins=np.arange(0.0, times[-1], 1.0))
+        dense = np.percentile(counts, 95)
+        calm = np.percentile(counts, 20)
+        assert dense > 2.0 * calm
+
+
 class TestGenerateQuerySet:
     def test_paper_default_shape(self):
         qs = generate_query_set(n_queries=1000, mean_size=128, qps=1000)

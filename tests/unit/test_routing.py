@@ -5,6 +5,7 @@ import pytest
 from repro.analysis.sharding import greedy_shard
 from repro.data.queries import Query
 from repro.serving.cluster import ClusterNode, ShardMap
+from repro.serving.policies import NoShed
 from repro.serving.routing import (
     LeastLoadedRouter,
     RoundRobinRouter,
@@ -30,8 +31,11 @@ class _StubScheduler:
 
 
 def _nodes(n, max_queue=0):
+    # ClusterNode is the serving kernel's EngineCore; routers only key on
+    # node_id / inflight_queries / earliest_free_delay / alive / full.
     return [
-        ClusterNode(i, _StubScheduler(), max_queue=max_queue) for i in range(n)
+        ClusterNode(_StubScheduler(), NoShed(), node_id=i, max_queue=max_queue)
+        for i in range(n)
     ]
 
 

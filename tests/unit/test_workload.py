@@ -1,0 +1,70 @@
+"""ServingScenario SLA resolution and process-parameter plumbing."""
+
+import pytest
+
+from repro.data.queries import Query, QuerySet
+from repro.serving.workload import ServingScenario, TenantSpec
+
+
+def query(index=0, tenant=""):
+    return Query(index=index, size=16, arrival_s=0.0, tenant=tenant)
+
+
+class TestSlaFor:
+    def test_untagged_query_gets_run_level_sla(self):
+        scenario = ServingScenario(
+            queries=QuerySet(queries=[query()]), sla_s=0.02,
+            sla_by_tenant={"feed": 0.005},
+        )
+        assert scenario.sla_for(query()) == 0.02
+
+    def test_tagged_query_resolves_its_tenant(self):
+        scenario = ServingScenario(
+            queries=QuerySet(queries=[]), sla_s=0.02,
+            sla_by_tenant={"feed": 0.005, "ads": 0.1},
+        )
+        assert scenario.sla_for(query(tenant="feed")) == 0.005
+        assert scenario.sla_for(query(tenant="ads")) == 0.1
+
+    def test_unknown_tenant_falls_back_to_run_level(self):
+        scenario = ServingScenario(
+            queries=QuerySet(queries=[]), sla_s=0.02,
+            sla_by_tenant={"feed": 0.005},
+        )
+        assert scenario.sla_for(query(tenant="batch-job")) == 0.02
+
+    def test_tagged_query_without_tenant_map_uses_run_level(self):
+        scenario = ServingScenario(queries=QuerySet(queries=[]), sla_s=0.02)
+        assert scenario.sla_for(query(tenant="feed")) == 0.02
+
+    def test_multi_tenant_sla_map_and_strictest_default(self):
+        scenario = ServingScenario.multi_tenant([
+            TenantSpec(name="feed", n_queries=5, qps=10.0, sla_s=0.010),
+            TenantSpec(name="ads", n_queries=5, qps=10.0, sla_s=0.200),
+        ])
+        assert scenario.sla_s == 0.010
+        assert scenario.sla_by_tenant == {"feed": 0.010, "ads": 0.200}
+        for q in scenario.queries:
+            assert scenario.sla_for(q) == scenario.sla_by_tenant[q.tenant]
+
+
+class TestProcessForwarding:
+    def test_with_process_forwards_generator_parameters(self):
+        mild = ServingScenario.with_process(
+            "flash-crowd", n_queries=2000, qps=500.0, seed=8,
+            spike_factor=1.0,
+        )
+        sharp = ServingScenario.with_process(
+            "flash-crowd", n_queries=2000, qps=500.0, seed=8,
+            spike_factor=8.0,
+        )
+        horizon = 4.0
+        window = lambda s: sum(  # noqa: E731
+            1 for q in s.queries
+            if 0.5 * horizon <= q.arrival_s < 0.6 * horizon
+        )
+        assert window(sharp) > window(mild)
+
+    def test_bad_parameter_propagates(self):
+        with pytest.raises(ValueError):
+            ServingScenario.diurnal(n_queries=10, amplitude=2.0)
