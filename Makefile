@@ -1,16 +1,19 @@
 # Developer entry points. `make test` is the tier-1 gate; `make bench-smoke`
 # runs a fast subset of the figure benchmarks; `make perf-smoke` is the
-# perf-regression gate (fails when the engine-vs-reference speedup or the
-# vectorized workload generation drops below its pinned floor); `make lint`
-# byte-compiles every tree and checks the suite still collects (no external
-# linters are assumed in the container); `make examples-smoke` +
+# perf-regression gate (fails when the engine-vs-reference speedup, the
+# vectorized workload generation, or the autoscaler's node-seconds savings
+# drops below its pinned floor); `make lint` byte-compiles every tree and
+# checks the suite still collects (no external linters are assumed in the
+# container); `make docstrings-check` fails on undocumented public API in
+# the serving kernel and MP-Rec core; `make examples-smoke` +
 # `make docs-check` back the CI docs job (every example runs green, every
 # relative link resolves); `make profile` cProfiles the `serve` hot path.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke perf-smoke lint check examples-smoke docs-check profile
+.PHONY: test bench-smoke perf-smoke lint check examples-smoke docs-check \
+	docstrings-check profile
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,11 +28,15 @@ perf-smoke:
 	$(PYTHON) -m pytest -q \
 		benchmarks/test_serving_engine_scale.py \
 		benchmarks/test_workload_generation.py \
-		benchmarks/test_runtime_switching.py
+		benchmarks/test_runtime_switching.py \
+		benchmarks/test_autoscaling.py
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
 	$(PYTHON) -m pytest --collect-only -q > /dev/null
+
+docstrings-check:
+	$(PYTHON) scripts/check_docstrings.py
 
 examples-smoke:
 	@set -e; for example in examples/*.py; do \
@@ -45,4 +52,4 @@ profile:
 		--queries 20000 --qps 20000 --max-batch 64 --batch-timeout-ms 2 \
 		| head -45
 
-check: lint test bench-smoke perf-smoke docs-check examples-smoke
+check: lint docstrings-check test bench-smoke perf-smoke docs-check examples-smoke

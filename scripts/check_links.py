@@ -1,10 +1,13 @@
 #!/usr/bin/env python
-"""Fail on broken relative links in README.md and docs/*.md.
+"""Fail on broken relative links — including anchors — in README.md and
+docs/*.md.
 
-Scans markdown inline links and reference definitions, skips absolute
-URLs (http/https/mailto) and pure in-page anchors, resolves everything
-else against the containing file's directory, and exits non-zero listing
-every target that does not exist.
+Scans markdown inline links, skips absolute URLs (http/https/mailto),
+resolves everything else against the containing file's directory, and
+exits non-zero listing every target that does not exist.  Anchored links
+(``page.md#section`` and in-page ``#section``) are validated against the
+target file's headings using GitHub's slug rules, so a renamed section
+breaks the build instead of silently dead-ending the reader.
 
     python scripts/check_links.py [file-or-dir ...]   # default: README.md docs/
 """
@@ -20,7 +23,47 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 # Inline [text](target) links; reference definitions are rare enough here
 # that inline coverage is the job.  Images (![alt](target)) match too.
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
-_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:")
+_HEADING = re.compile(r"#{1,6}\s+(.*)")
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug for one heading: lowercase, emphasis/code
+    markers stripped, punctuation dropped, spaces to dashes.
+    Underscores survive — they are word characters to GitHub, so
+    ``## foo (`mp_cache.py`)`` anchors as ``foo-mp_cachepy``."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+_ANCHOR_CACHE: dict[pathlib.Path, set[str]] = {}
+
+
+def heading_anchors(markdown: pathlib.Path) -> set[str]:
+    """Every anchor the file's headings define (GitHub slug rules,
+    duplicate headings numbered ``slug-1``, ``slug-2``, ...)."""
+    cached = _ANCHOR_CACHE.get(markdown)
+    if cached is not None:
+        return cached
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in markdown.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            slug = _github_slug(match.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+    _ANCHOR_CACHE[markdown] = anchors
+    return anchors
 
 
 def iter_markdown(paths: list[str]) -> list[pathlib.Path]:
@@ -40,17 +83,21 @@ def iter_markdown(paths: list[str]) -> list[pathlib.Path]:
 
 
 def broken_links(markdown: pathlib.Path) -> list[tuple[int, str]]:
+    """(line, target) for every link whose file or anchor does not
+    resolve from ``markdown``."""
     broken = []
     for lineno, line in enumerate(markdown.read_text().splitlines(), start=1):
         for target in _LINK.findall(line):
             if target.startswith(_SKIP_PREFIXES):
                 continue
-            path = target.split("#", 1)[0]
-            if not path:
-                continue
-            resolved = (markdown.parent / path).resolve()
+            path, _, fragment = target.partition("#")
+            resolved = (markdown.parent / path).resolve() if path else markdown
             if not resolved.exists():
                 broken.append((lineno, target))
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in heading_anchors(resolved):
+                    broken.append((lineno, target))
     return broken
 
 

@@ -14,6 +14,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 
+def replica_nodes(anchor: int, replication: int, n_nodes: int) -> tuple[int, ...]:
+    """The replication chain anchored at ``anchor``: the anchor plus its
+    ``replication - 1`` successors, mod ``n_nodes``.  This is the single
+    placement rule that shard-group ownership, table-slice replication,
+    and a joining node's warm-payload pricing all share — change it here
+    and every consumer moves together."""
+    return tuple((anchor + k) % n_nodes for k in range(replication))
+
+
 @dataclass
 class ShardingPlan:
     """Placement of each table (or table slice) onto nodes."""
@@ -22,6 +31,12 @@ class ShardingPlan:
     dim: int
     # assignment[f] = list of (node, rows) slices for feature f.
     assignment: list[list[tuple[int, int]]] = field(default_factory=list)
+
+    def cardinalities(self) -> list[int]:
+        """Recover each feature's row count (its slices summed) — what an
+        elastic cluster needs to re-shard the same tables onto a different
+        node count when membership changes."""
+        return [sum(rows for _, rows in slices) for slices in self.assignment]
 
     def node_bytes(self) -> np.ndarray:
         totals = np.zeros(self.n_nodes)

@@ -132,6 +132,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--link", default="eth-100g", choices=["eth-25g", "eth-100g", "rdma-100g"],
         help="inter-node fabric pricing the embedding all-to-all",
     )
+    serve.add_argument(
+        "--autoscale", action="store_true",
+        help="elastic fleet: grow/drain nodes with load (live shard "
+             "handoff priced over --link); --nodes is the fleet ceiling",
+    )
+    serve.add_argument(
+        "--min-nodes", type=_positive_int, default=1,
+        help="autoscaling floor (requires --autoscale)",
+    )
+    serve.add_argument(
+        "--max-nodes", type=_positive_int, default=None,
+        help="autoscaling ceiling (defaults to --nodes; requires --autoscale)",
+    )
+    serve.add_argument(
+        "--scale-cooldown", type=float, default=None, metavar="MS",
+        help="freeze membership for this long after each scale operation "
+             "(hysteresis; default 500 ms, requires --autoscale)",
+    )
 
     char = sub.add_parser("characterize", help="operator breakdowns")
     char.add_argument("--dataset", default="kaggle", choices=["kaggle", "terabyte"])
@@ -194,7 +212,7 @@ def cmd_serve(args) -> int:
         print("error: --switch-cooldown requires --switching", file=sys.stderr)
         return 2
     if args.switching:
-        if args.nodes > 1:
+        if args.nodes > 1 or args.autoscale:
             print(
                 "error: --switching is a single-node mode (use the "
                 "ClusterSimulator API for switching fleets)", file=sys.stderr,
@@ -207,12 +225,64 @@ def cmd_serve(args) -> int:
                 file=sys.stderr,
             )
             return 2
+    if not args.autoscale:
+        autoscale_flags = [
+            ("--min-nodes", args.min_nodes != 1),
+            ("--max-nodes", args.max_nodes is not None),
+            ("--scale-cooldown", args.scale_cooldown is not None),
+        ]
+        ignored = [flag for flag, used in autoscale_flags if used]
+        if ignored:
+            print(
+                f"error: {', '.join(ignored)} require(s) --autoscale",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        max_nodes = args.max_nodes if args.max_nodes is not None else args.nodes
+        if args.max_nodes is not None and args.nodes > 1 \
+                and args.max_nodes != args.nodes:
+            print(
+                f"error: --nodes {args.nodes} conflicts with --max-nodes "
+                f"{args.max_nodes}; give the fleet ceiling once",
+                file=sys.stderr,
+            )
+            return 2
+        if max_nodes < 2:
+            print(
+                "error: --autoscale with --nodes 1 is not a fleet; give "
+                "the ceiling via --nodes or --max-nodes (> 1)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.min_nodes > max_nodes:
+            print(
+                f"error: --min-nodes {args.min_nodes} exceeds the fleet "
+                f"ceiling {max_nodes}", file=sys.stderr,
+            )
+            return 2
+        if args.fail_at is not None or args.fail_node != 0:
+            print(
+                "error: --autoscale and --fail-at/--fail-node cannot be "
+                "combined (elastic membership has no failure drill yet)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.replication > args.min_nodes:
+            print(
+                f"error: --replication {args.replication} exceeds "
+                f"--min-nodes {args.min_nodes}; every epoch must fit its "
+                "replication chains", file=sys.stderr,
+            )
+            return 2
     scenario = ServingScenario.with_process(
         args.arrivals, n_queries=args.queries, qps=args.qps,
         sla_s=args.sla_ms / 1e3, seed=args.seed,
     )
     if args.switching:
         return _serve_switching(args, config, scenario)
+    if args.autoscale:
+        return _serve_autoscale(args, config, scenario, max_nodes)
     if args.nodes > 1:
         if args.replication > args.nodes:
             print(
@@ -294,6 +364,50 @@ def _serve_switching(args, config, scenario) -> int:
             f"  t={event.time_s * 1e3:8.1f} ms  {event.device}: "
             f"{event.from_label} -> {event.to_label} "
             f"(+{event.overhead_s * 1e3:.1f} ms)"
+        )
+    return 0
+
+
+def _serve_autoscale(args, config, scenario, max_nodes) -> int:
+    from repro.experiments.setup import run_autoscaled_serving
+    from repro.hardware.topology import CLUSTER_LINKS
+
+    cooldown_ms = 500.0 if args.scale_cooldown is None else args.scale_cooldown
+    cluster = run_autoscaled_serving(
+        config, scenario, min_nodes=args.min_nodes, max_nodes=max_nodes,
+        scheduler=args.scheduler, router=args.router,
+        replication=args.replication, link=CLUSTER_LINKS[args.link],
+        cooldown_s=cooldown_ms / 1e3, shed_policy=args.shed_policy,
+        max_batch_size=args.max_batch,
+        batch_timeout_s=args.batch_timeout_ms / 1e3,
+        max_queue=args.max_queue, streaming=args.streaming,
+    )
+    result = cluster.result
+    print(f"elastic cluster        : {args.min_nodes}..{max_nodes} nodes, "
+          f"{args.router} router, replication {args.replication}, {args.link}")
+    print(f"scheduler              : {args.scheduler}")
+    print(f"correct predictions/s  : {result.correct_prediction_throughput:,.0f}")
+    print(f"raw samples/s          : {result.raw_throughput:,.0f}")
+    print(f"served accuracy        : {result.mean_accuracy:.3f}%")
+    print(f"SLA violations         : {result.violation_rate * 100:.2f}%")
+    print(f"shed (dropped)         : {result.drop_rate * 100:.2f}%")
+    print(f"p99 latency            : {result.p99_latency_s * 1e3:.2f} ms")
+    print(f"scale ups / downs      : {cluster.scale_ups} / {cluster.scale_downs}")
+    print(f"node-seconds           : {cluster.node_seconds:.3f}")
+    print(f"handoff overhead       : {cluster.handoff_overhead_s * 1e3:.2f} ms")
+    print(f"rerouted by drains     : {cluster.rerouted}")
+    if cluster.edge_drops:
+        print(f"edge drops             : {cluster.edge_drops}")
+    for event in cluster.scale_events[:10]:
+        detail = (
+            f"warm {event.warm_bytes / 1e6:.1f} MB in "
+            f"{event.warm_s * 1e3:.2f} ms"
+            if event.kind == "up"
+            else f"re-injected {event.reinjected}"
+        )
+        print(
+            f"  t={event.time_s * 1e3:8.1f} ms  {event.kind:4s} node "
+            f"{event.node_id} -> {event.n_members} members ({detail})"
         )
     return 0
 

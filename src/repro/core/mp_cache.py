@@ -162,10 +162,12 @@ class EncoderCache:
 
     @property
     def observed_hit_rate(self) -> float:
+        """Empirical hit rate since the last :meth:`reset_stats`."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     def reset_stats(self) -> None:
+        """Zero the hit/miss counters (capacity and contents stay)."""
         self.hits = 0
         self.misses = 0
 
@@ -191,6 +193,7 @@ class DecoderCentroidCache:
 
     @property
     def is_fitted(self) -> bool:
+        """True once :meth:`fit` has built the centroid table."""
         return self._decoded is not None
 
     def generate(self, intermediates: np.ndarray) -> np.ndarray:
@@ -237,6 +240,9 @@ class MPCache:
         samplers: list[ZipfSampler],
         approximation_error: float = 0.0,
     ) -> CacheEffect:
+        """The analytic serving effect of both tiers on one
+        representation: encoder hit rate under the traffic model, decoder
+        speedup, and the centroid approximation's accuracy penalty."""
         hit_rate = self.encoder.expected_hit_rate(samplers)
         speedup = self.decoder.speedup(rep) if self.decoder else 1.0
         # Centroid approximation costs a sliver of accuracy, shrinking with

@@ -34,9 +34,11 @@ class MappingPlan:
     accuracies: dict[str, float] = field(default_factory=dict)  # by rep label
 
     def reps_on(self, device_name: str) -> list[RepresentationConfig]:
+        """The representations the plan maps onto one device."""
         return self.mappings.get(device_name, [])
 
     def unique_reps(self) -> list[RepresentationConfig]:
+        """Distinct representations across devices (each trained once)."""
         seen: dict[str, RepresentationConfig] = {}
         for reps in self.mappings.values():
             for rep in reps:
@@ -48,9 +50,11 @@ class MappingPlan:
         return sum(rep.total_bytes(self.model) for rep in self.unique_reps())
 
     def device_bytes(self, device_name: str) -> int:
+        """Memory one device spends hosting its mapped representations."""
         return sum(rep.total_bytes(self.model) for rep in self.reps_on(device_name))
 
     def best_accuracy(self) -> float:
+        """The highest estimated accuracy any mapped representation offers."""
         return max(self.accuracies.values()) if self.accuracies else 0.0
 
     def build_paths(
@@ -95,6 +99,9 @@ class OfflinePlanner:
         self.space = space if space is not None else default_planner_space(model)
 
     def plan(self, hardware: list[DeviceSpec]) -> MappingPlan:
+        """Run Algorithm 1: per device, map the accuracy-optimal hybrid
+        that fits, a table fallback for latency-critical traffic, and a
+        DHE between them, within the device's memory budget."""
         if not hardware:
             raise ValueError("need at least one hardware platform")
         plan = MappingPlan(model=self.model)

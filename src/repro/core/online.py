@@ -33,12 +33,15 @@ PREFERENCE_ORDER = ("hybrid", "dhe", "select", "table")
 
 @dataclass(frozen=True)
 class Decision:
+    """One routing verdict: the chosen path plus its projected costs."""
+
     path: ExecutionPath
     service_s: float
     wait_s: float
 
     @property
     def finish_after_arrival_s(self) -> float:
+        """Projected end-to-end latency (queue wait + service)."""
         return self.wait_s + self.service_s
 
 
@@ -55,6 +58,8 @@ class Scheduler:
     def select(
         self, query_size: int, sla_s: float, now: float, free_at: dict[str, list[float]]
     ) -> Decision:
+        """Route one query (or one coalesced batch of ``query_size``
+        samples) given the devices' current queue state."""
         raise NotImplementedError
 
     # ---- event-engine hooks ---------------------------------------------
@@ -131,6 +136,9 @@ class MultiPathScheduler(Scheduler):
     def select(
         self, query_size: int, sla_s: float, now: float, free_at: dict[str, list[float]]
     ) -> Decision:
+        """The most-preferred representation kind whose projected finish
+        (queue wait + service) fits the SLA; ultimate fallback is the
+        earliest-finishing path."""
         for kind in self.preference:
             candidates = [p for p in self.paths if p.kind == kind]
             feasible = [
@@ -167,6 +175,7 @@ class StaticScheduler(Scheduler):
     def select(
         self, query_size: int, sla_s: float, now: float, free_at: dict[str, list[float]]
     ) -> Decision:
+        """The deployment's only path, whatever the queue says."""
         return self._decision(self.paths[0], query_size, now, free_at)
 
 
@@ -188,6 +197,8 @@ class TableSwitchScheduler(Scheduler):
     def select(
         self, query_size: int, sla_s: float, now: float, free_at: dict[str, list[float]]
     ) -> Decision:
+        """The platform with the lowest profiled service latency for this
+        query size — queue-blind by design."""
         decisions = [self._decision(p, query_size, now, free_at) for p in self.paths]
         return min(decisions, key=lambda d: d.service_s)
 
@@ -200,5 +211,6 @@ class GreedyLatencyScheduler(Scheduler):
     def select(
         self, query_size: int, sla_s: float, now: float, free_at: dict[str, list[float]]
     ) -> Decision:
+        """The earliest-finishing path, accuracy ignored."""
         decisions = [self._decision(p, query_size, now, free_at) for p in self.paths]
         return min(decisions, key=lambda d: d.finish_after_arrival_s)

@@ -38,6 +38,8 @@ class PathProfile:
         self._log_latencies = np.log(self.latencies)
 
     def latency(self, query_size: float) -> float:
+        """Service latency at ``query_size`` samples, log-log interpolated
+        through the profiled anchor points."""
         if query_size <= 0:
             raise ValueError("query_size must be positive")
         return math.exp(
@@ -69,9 +71,11 @@ class ExecutionPath:
 
     @property
     def kind(self) -> str:
+        """The representation kind this path serves (table/dhe/...)."""
         return self.rep.kind
 
     def latency(self, query_size: int) -> float:
+        """Profiled service latency at ``query_size`` samples."""
         return self.profile.latency(query_size)
 
     def __repr__(self) -> str:

@@ -55,19 +55,23 @@ class RepresentationConfig:
 
     @property
     def uses_tables(self) -> bool:
+        """True when any feature is served from a memory-based table."""
         return self.kind in ("table", "select", "hybrid")
 
     @property
     def uses_dhe(self) -> bool:
+        """True when any feature runs the compute-based DHE stack."""
         return self.kind in ("dhe", "select", "hybrid")
 
     @property
     def display(self) -> str:
+        """Human-readable identity (label, or kind + embedding dim)."""
         return self.label or f"{self.kind}(d={self.embedding_dim})"
 
     # ---- capacity ----------------------------------------------------------
 
     def embedding_bytes(self, model: ModelConfig) -> int:
+        """Embedding-side parameter bytes on this model (tables + DHE)."""
         if self.kind == "select":
             order = sorted(range(model.n_sparse),
                            key=lambda f: model.cardinalities[f], reverse=True)
@@ -91,11 +95,13 @@ class RepresentationConfig:
         )
 
     def total_bytes(self, model: ModelConfig) -> int:
+        """Full model footprint: embedding plus dense parameter bytes."""
         return self.embedding_bytes(model) + self.dense_bytes(model)
 
     # ---- compute -----------------------------------------------------------
 
     def embedding_flops_per_sample(self, model: ModelConfig) -> int:
+        """FLOPs one sample spends producing its embeddings."""
         g_dim = self.dhe_dim or None
         return embedding_flops(
             self.kind, model.n_sparse, self.embedding_dim,
@@ -104,6 +110,7 @@ class RepresentationConfig:
         )
 
     def dense_flops_per_sample(self, model: ModelConfig) -> int:
+        """FLOPs one sample spends in the MLPs and the interaction."""
         mlp = sum(
             2 * sizes[i] * sizes[i + 1]
             for sizes in (self._bottom_sizes(model), self._top_sizes(model))
@@ -113,9 +120,11 @@ class RepresentationConfig:
         return mlp + interaction
 
     def flops_per_sample(self, model: ModelConfig) -> int:
+        """End-to-end FLOPs per sample (embedding + dense)."""
         return self.embedding_flops_per_sample(model) + self.dense_flops_per_sample(model)
 
     def decoder_flops_per_lookup(self) -> int:
+        """FLOPs one DHE decoder pass spends per sparse lookup."""
         if not self.uses_dhe:
             return 0
         out_dim = self.dhe_dim if self.kind == "hybrid" else self.embedding_dim
@@ -153,6 +162,8 @@ class RepresentationConfig:
         return [interaction, *model.top_mlp, 1]
 
     def with_dim(self, dim: int) -> "RepresentationConfig":
+        """The same representation resized to embedding dim ``dim``
+        (hybrid splits the new dim proportionally)."""
         if self.kind == "hybrid":
             t_dim = max(1, dim * self.table_dim // self.embedding_dim)
             return replace(

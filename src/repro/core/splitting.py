@@ -22,6 +22,8 @@ from repro.models.configs import ModelConfig
 
 @dataclass(frozen=True)
 class SplitOutcome:
+    """One split evaluation: the ratio and the resulting latencies."""
+
     ratio_on_first: float
     latency_s: float
     first_latency_s: float

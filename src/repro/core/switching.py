@@ -325,6 +325,8 @@ class SwitchController:
 
     def switch_overhead_s(self, old_path: ExecutionPath,
                           new_path: ExecutionPath) -> float:
+        """The Fig-15 window one swap costs: load the new representation
+        plus tear down the old (or the explicit overrides)."""
         load = self.load_s if self.load_s is not None else estimate_load_s(
             new_path
         )

@@ -28,6 +28,7 @@ from repro.hardware.device import GB, MB, DeviceSpec
 from repro.hardware.topology import ETHERNET_100G, LinkSpec
 from repro.models.configs import KAGGLE, TERABYTE, ModelConfig
 from repro.quality.estimator import QualityEstimator
+from repro.serving.autoscale import AutoscaleController
 from repro.serving.cluster import ClusterResult, ClusterSimulator
 from repro.serving.metrics import ServingResult
 from repro.serving.routing import Router
@@ -339,4 +340,67 @@ def run_cluster_serving(
         model, n_nodes, scheduler=scheduler, router=router,
         replication=replication, **kwargs,
     )
+    return cluster.run_streaming(scenario) if streaming else cluster.run(scenario)
+
+
+def build_autoscaled_cluster(
+    model: ModelConfig,
+    min_nodes: int,
+    max_nodes: int,
+    scheduler: str = "mp-rec",
+    router: str | Router = "least-loaded",
+    replication: int = 1,
+    link: LinkSpec = ETHERNET_100G,
+    devices: list[DeviceSpec] | None = None,
+    with_cache: bool = True,
+    initial_nodes: int | None = None,
+    hi_pressure: float = 0.75,
+    lo_pressure: float = 0.25,
+    patience: int = 8,
+    patience_down: int = 32,
+    cooldown_s: float = 0.5,
+    **cluster_kwargs,
+) -> ClusterSimulator:
+    """Assemble an *elastic* serving cluster: the sharding plan is sized
+    for the ``max_nodes`` ceiling, membership starts at ``initial_nodes``
+    (default ``min_nodes``), and an :class:`~repro.serving.autoscale.
+    AutoscaleController` adds or drains nodes as the fleet's pressure
+    signals say — joins warm their shard slice over ``link``, drains
+    hand queued queries back through the failover path (zero-loss).
+
+    ``cluster_kwargs`` forward to :class:`~repro.serving.cluster.
+    ClusterSimulator` (``shed_policy``, ``max_batch_size``,
+    ``batch_timeout_s``, ``max_queue``, ``hot_fraction``, ...).
+    """
+    controller = AutoscaleController(
+        min_nodes=min_nodes,
+        max_nodes=max_nodes,
+        initial_nodes=initial_nodes,
+        hi_pressure=hi_pressure,
+        lo_pressure=lo_pressure,
+        patience=patience,
+        patience_down=patience_down,
+        cooldown_s=cooldown_s,
+    )
+    return build_cluster(
+        model, max_nodes, scheduler=scheduler, router=router,
+        replication=replication, link=link, devices=devices,
+        with_cache=with_cache, autoscale=controller, **cluster_kwargs,
+    )
+
+
+def run_autoscaled_serving(
+    model: ModelConfig,
+    scenario: ServingScenario | None = None,
+    min_nodes: int = 1,
+    max_nodes: int = 4,
+    streaming: bool = False,
+    **kwargs,
+) -> ClusterResult:
+    """Run one scenario through an elastic cluster; the autoscaling
+    analogue of :func:`run_cluster_serving`.  The returned
+    :class:`~repro.serving.cluster.ClusterResult` carries the scaling
+    trace (``scale_events``), ``node_seconds``, and handoff overhead."""
+    scenario = scenario or ServingScenario.paper_default()
+    cluster = build_autoscaled_cluster(model, min_nodes, max_nodes, **kwargs)
     return cluster.run_streaming(scenario) if streaming else cluster.run(scenario)

@@ -18,6 +18,9 @@ and the knobs they share:
 - Both accept a :class:`~repro.core.switching.SwitchController` for
   runtime representation switching (load/teardown charged on the device
   timelines — docs/switching.md).
+- The cluster additionally accepts an :class:`~repro.serving.autoscale.
+  AutoscaleController` for elastic fleets: membership grows and shrinks
+  mid-run with live shard handoff (docs/autoscaling.md).
 - Both report through either exact record-backed :class:`ServingResult`
   (``run``) or constant-memory :class:`StreamingMetrics`
   (``run_streaming``); the two share one metric vocabulary.
@@ -26,6 +29,11 @@ See docs/serving.md, docs/cluster.md, and docs/switching.md for the
 guided tour.
 """
 
+from repro.serving.autoscale import (
+    AutoscaleController,
+    ScaleEvent,
+    shard_slice_bytes,
+)
 from repro.serving.cluster import (
     ClusterNode,
     ClusterResult,
@@ -66,6 +74,7 @@ from repro.serving.simulator import ReferenceSimulator, ServingSimulator
 from repro.serving.workload import ServingScenario, TenantSpec
 
 __all__ = [
+    "AutoscaleController",
     "Batcher",
     "ClusterNode",
     "ClusterResult",
@@ -84,6 +93,7 @@ __all__ = [
     "ReservoirSampler",
     "Router",
     "RoundRobinRouter",
+    "ScaleEvent",
     "ServingResult",
     "ServingScenario",
     "ServingSimulator",
@@ -96,4 +106,5 @@ __all__ = [
     "make_policy",
     "make_router",
     "run_kernel",
+    "shard_slice_bytes",
 ]

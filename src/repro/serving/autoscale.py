@@ -1,0 +1,273 @@
+"""Elastic autoscaling: grow and shrink the serving fleet mid-run.
+
+The cluster built in PR 2 is a fixed-size fleet: a flash crowd can only
+be shed, never absorbed, and the night-time trough burns a full fleet's
+idle power serving a trickle.  This module adds the missing control
+loop.  An :class:`AutoscaleController` watches the same pressure signals
+the :class:`~repro.core.switching.SwitchController` uses per device —
+the dispatched batch's worst queueing delay against the SLA, and the
+resident path's service time saturating the batching window (the
+leading indicator that fires before a backlog commits to the timeline)
+— but acts on the *fleet*: add a kernel core when the signals say
+surge, drain one when they say calm.
+
+Scale operations are priced, never free:
+
+- **Scale-up (live shard handoff in)** — the joining node must warm its
+  slice of the next epoch's :class:`~repro.serving.cluster.ShardMap`
+  over the cluster fabric before it can serve.  The warm window is
+  ``link.transfer_time(slice bytes)`` (:func:`shard_slice_bytes`) and is
+  charged as a :meth:`~repro.serving.devices.DeviceTimeline.block` on
+  every one of the joining node's devices — the same mechanism that
+  prices the Fig-15 representation-switch window.  The node joins the
+  routable set only when the warm completes.
+- **Scale-down (live shard handoff out)** — the draining node stops
+  admitting, hands its queued-but-undispatched queries back through the
+  cluster's existing failover re-injection path (they re-enter the event
+  heap at the drain instant and are re-routed to the surviving members),
+  and lets its already-dispatched batches run to completion.  Nothing is
+  displaced, so — unlike a node *failure* — scale-down wastes zero
+  energy and loses zero queries: the **zero-loss drain invariant**,
+  property-tested in ``tests/property/test_prop_engine_parity.py``.
+
+Membership is always a prefix ``{0..k-1}`` of the node ids (joins take
+the lowest inactive id, drains retire the highest active id), and every
+membership change starts a new *epoch*: the cluster re-shards the same
+tables onto the new member count (:meth:`~repro.analysis.sharding.
+ShardingPlan.cardinalities` + :func:`~repro.analysis.sharding.
+greedy_shard`) and rebuilds the :class:`~repro.serving.cluster.ShardMap`
+the routers and the exchange pricing consult.  Scale operations are
+strictly serialized — a join's warm window must complete before the
+next operation may start — which is what keeps the prefix invariant
+(and therefore the shard-map indexing) sound.
+
+Thrash control mirrors the switch controller's: a hysteresis band
+between ``lo_pressure`` and ``hi_pressure`` where nothing triggers,
+``patience`` (and the more conservative ``patience_down``) consecutive
+agreeing dispatches before an operation starts, and ``cooldown_s`` of
+frozen membership after each operation completes.
+
+See docs/autoscaling.md for the guided tour and
+``benchmarks/test_autoscaling.py`` for the headline result: under a
+diurnal flash-crowd scenario the elastic fleet matches a statically
+max-provisioned fleet's SLA-violation rate at materially fewer
+node-seconds (and therefore less idle energy), with every handoff
+charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.sharding import ShardingPlan, replica_nodes
+
+
+def shard_slice_bytes(
+    plan: ShardingPlan, node_id: int, replication: int = 1
+) -> int:
+    """Embedding-table bytes node ``node_id`` hosts under ``plan``.
+
+    This is the payload a joining node must pull over the cluster fabric
+    before it can serve its shard slice: every feature slice whose
+    replication chain (:func:`~repro.analysis.sharding.replica_nodes` —
+    the same placement rule :meth:`~repro.serving.cluster.ShardMap.
+    from_plan` chains ownership by) lands on the node, at
+    ``rows x dim x 4`` bytes.
+    """
+    if not 0 <= node_id < plan.n_nodes:
+        raise ValueError("node_id out of range for the plan")
+    if not 1 <= replication <= plan.n_nodes:
+        raise ValueError("replication must be in [1, n_nodes]")
+    total = 0
+    for slices in plan.assignment:
+        for anchor, rows in slices:
+            if node_id in replica_nodes(anchor, replication, plan.n_nodes):
+                total += rows * plan.dim * 4
+    return total
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One fleet membership change, fully priced."""
+
+    time_s: float  # when the decision fired
+    ready_s: float  # when the new membership serves (== time_s for "down")
+    kind: str  # "up" | "down"
+    node_id: int  # the node joining or draining
+    n_members: int  # fleet size after the operation
+    warm_bytes: int = 0  # shard slice streamed to a joining node
+    warm_s: float = 0.0  # its fabric transfer window (charged as a block)
+    reinjected: int = 0  # queries a draining node handed back
+
+
+@dataclass
+class AutoscaleController:
+    """Decide when the fleet grows or shrinks, and never thrash.
+
+    One controller instance governs one cluster run; the cluster clones
+    its configured template per run (:meth:`clone`) so back-to-back runs
+    of one simulator stay independent and deterministic.
+
+    Decision rule, evaluated once per dispatched batch anywhere in the
+    fleet (the cluster feeds every core's ``on_dispatch`` hook here),
+    reusing the :class:`~repro.core.switching.SwitchController`'s signal
+    vocabulary: pressure = the batch's worst member wait (batching fill
+    + device queue) / the run SLA, and window saturation as the leading
+    surge indicator.
+
+    - **surge** — pressure >= ``hi_pressure``, or the batch's service
+      time saturating the batching window (window utilization =
+      ``path.latency(batch) / batch_timeout`` >= ``util_hi``, the
+      leading indicator that fires before a backlog commits to the
+      timeline): on ``patience`` consecutive dispatches -> **scale up**
+      (if below ``max_nodes``).
+    - **calm** — the *device-queue* component of the wait alone
+      (``queue_s``, batching fill excluded — at a quiet trough every
+      batch still waits out the flush window, which must not read as
+      load) <= ``lo_pressure`` of the SLA, **and** the post-drain
+      projection holds: window utilization scaled by ``n / (n-1)`` (the
+      load the survivors would inherit) stays <= ``util_lo``.  On
+      ``patience_down`` consecutive dispatches -> **scale down** (if
+      above ``min_nodes``).  Draining is deliberately more patient than
+      joining: a premature join costs one warm window, a premature drain
+      costs re-queued user traffic.
+    - anything in between resets both streaks.
+
+    ``schedule`` forces membership changes at fixed times regardless of
+    pressure — ``((t, "up"), (t2, "down"), ...)`` — the hook benchmarks
+    and the scale-2-4-2 accounting property test drive.
+
+    ``initial_nodes`` (default ``min_nodes``) sets the membership at
+    ``t == 0``.
+    """
+
+    min_nodes: int
+    max_nodes: int
+    initial_nodes: int | None = None
+    hi_pressure: float = 0.75
+    lo_pressure: float = 0.25
+    util_hi: float = 0.95
+    util_lo: float = 0.85
+    patience: int = 8
+    patience_down: int = 32
+    cooldown_s: float = 0.5
+    schedule: tuple = ()
+
+    events: list[ScaleEvent] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_nodes <= self.max_nodes:
+            raise ValueError("need 1 <= min_nodes <= max_nodes")
+        if self.initial_nodes is None:
+            self.initial_nodes = self.min_nodes
+        if not self.min_nodes <= self.initial_nodes <= self.max_nodes:
+            raise ValueError("initial_nodes must be in [min_nodes, max_nodes]")
+        if not 0.0 <= self.lo_pressure < self.hi_pressure:
+            raise ValueError("need 0 <= lo_pressure < hi_pressure")
+        if self.util_hi <= 0 or self.util_lo <= 0:
+            raise ValueError("util_hi / util_lo must be positive")
+        if self.patience < 1 or self.patience_down < 1:
+            raise ValueError("patience / patience_down must be >= 1")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be non-negative")
+        for entry in self.schedule:
+            time_s, kind = entry
+            if kind not in ("up", "down"):
+                raise ValueError(f"schedule kind must be up/down, got {kind!r}")
+            if time_s < 0:
+                raise ValueError("schedule times must be non-negative")
+        self._surge = 0
+        self._calm = 0
+        self._cooldown_until = 0.0
+        self._in_progress = False
+
+    # ---- lifecycle -------------------------------------------------------
+
+    def clone(self) -> "AutoscaleController":
+        """A fresh controller with the same configuration and no state."""
+        return AutoscaleController(
+            min_nodes=self.min_nodes,
+            max_nodes=self.max_nodes,
+            initial_nodes=self.initial_nodes,
+            hi_pressure=self.hi_pressure,
+            lo_pressure=self.lo_pressure,
+            util_hi=self.util_hi,
+            util_lo=self.util_lo,
+            patience=self.patience,
+            patience_down=self.patience_down,
+            cooldown_s=self.cooldown_s,
+            schedule=self.schedule,
+        )
+
+    # ---- the decision ----------------------------------------------------
+
+    def observe(
+        self, core, path, wait_s: float, queue_s: float, batch_size: int,
+        batch_queries: int, sla_s: float, n_members: int, now: float,
+    ) -> str | None:
+        """One dispatched batch anywhere in the fleet: update the streaks
+        and return ``"up"`` / ``"down"`` when hysteresis says the fleet
+        must move (``None`` otherwise — by far the common case).
+
+        ``wait_s`` is the batch's worst member wait, ``queue_s`` its
+        device-queue component alone; ``batch_size`` counts samples,
+        ``batch_queries`` the queries that carried them; ``n_members`` is
+        the current fleet size (bounds are checked here so a streak at a
+        bound neither fires nor resets the evidence it accumulated).
+        """
+        if self._in_progress or now < self._cooldown_until:
+            return None
+        pressure = wait_s / sla_s
+        timeout_s = core.batcher.timeout_s
+        # Window utilization: service of the window's batch against the
+        # window itself — >= 1 means this node cannot drain what one
+        # flush window admits.  Only meaningful when the path can serve a
+        # singleton within the window at all (a path whose floor latency
+        # exceeds the timeout would read as saturated forever); outside
+        # that regime the queue/wait pressures are the only trustworthy
+        # signals and util drops out of both branches.
+        util = 0.0
+        if timeout_s > 0 and path.latency(1) < timeout_s:
+            util = path.latency(max(1, batch_size)) / timeout_s
+        if pressure >= self.hi_pressure or util >= self.util_hi:
+            self._calm = 0
+            self._surge += 1
+            if self._surge >= self.patience and n_members < self.max_nodes:
+                self._surge = 0
+                self._in_progress = True
+                return "up"
+        elif queue_s / sla_s <= self.lo_pressure and (
+            n_members <= 1
+            or util * n_members / (n_members - 1) <= self.util_lo
+        ):
+            self._surge = 0
+            self._calm += 1
+            if self._calm >= self.patience_down and n_members > self.min_nodes:
+                self._calm = 0
+                self._in_progress = True
+                return "down"
+        else:
+            self._surge = 0
+            self._calm = 0
+        return None
+
+    # ---- cluster callbacks -----------------------------------------------
+
+    def on_scale_started(self) -> None:
+        """A forced (scheduled) operation is executing: freeze decisions
+        until it completes, exactly as a pressure-driven one would."""
+        self._in_progress = True
+
+    def on_scale_complete(self, now: float, event: ScaleEvent) -> None:
+        """The operation's handoff finished: record it, reset the
+        evidence, and arm the cooldown."""
+        self.events.append(event)
+        self._in_progress = False
+        self._surge = 0
+        self._calm = 0
+        self._cooldown_until = now + self.cooldown_s
+
+    @property
+    def total_warm_s(self) -> float:
+        """Device time blocked by shard warm windows across the run."""
+        return sum(e.warm_s for e in self.events)

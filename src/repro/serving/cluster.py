@@ -47,6 +47,16 @@ Backpressure: ``max_queue`` bounds each node's outstanding queries
 router; if every node is full the query is shed at the cluster edge and
 recorded as dropped.
 
+Elasticity: pass an :class:`~repro.serving.autoscale.AutoscaleController`
+and the fleet grows and shrinks mid-run.  Membership is a prefix of the
+node ids; every change re-shards the tables onto the new member count and
+rebuilds the :class:`ShardMap` (a new *epoch*).  A joining node warms its
+shard slice over the fabric before it serves (the warm window is charged
+as a :meth:`~repro.serving.devices.DeviceTimeline.block`); a draining
+node hands its queued queries back through the failover re-injection
+path and lets dispatched batches finish — zero loss, zero waste.  See
+:mod:`repro.serving.autoscale` and docs/autoscaling.md.
+
 A 1-node cluster reproduces :class:`~repro.serving.simulator.
 ServingSimulator` record-for-record (zero exchange, trivial routing) —
 pinned in ``tests/unit/test_cluster.py`` and property-tested over random
@@ -58,7 +68,7 @@ from __future__ import annotations
 import copy
 from dataclasses import dataclass, field
 
-from repro.analysis.sharding import ShardingPlan
+from repro.analysis.sharding import ShardingPlan, greedy_shard, replica_nodes
 from repro.core.online import Scheduler
 from repro.data.queries import Query
 from repro.hardware.topology import (
@@ -66,6 +76,7 @@ from repro.hardware.topology import (
     LinkSpec,
     alltoall_exchange_time,
 )
+from repro.serving.autoscale import AutoscaleController, ScaleEvent, shard_slice_bytes
 from repro.serving.engine import (
     ARRIVAL,
     CONTROL,
@@ -107,13 +118,17 @@ class ShardMap:
         replication: int = 1,
         hot_fraction: float = 0.5,
     ) -> "ShardMap":
+        """Derive the cluster's ownership and locality model from a
+        sharding plan: chain each shard group (and each table slice) onto
+        ``replication`` consecutive nodes and precompute every node's
+        locally-held share of the cold (item-side) bytes."""
         n = plan.n_nodes
         if not 1 <= replication <= n:
             raise ValueError("replication must be in [1, n_nodes]")
         if not 0.0 <= hot_fraction <= 1.0:
             raise ValueError("hot_fraction must be in [0, 1]")
         owners = tuple(
-            frozenset((g + k) % n for k in range(replication)) for g in range(n)
+            frozenset(replica_nodes(g, replication, n)) for g in range(n)
         )
         # A node hosts a feature's bytes locally in proportion to the rows
         # it holds: a table-wise feature is fully local to its replicas,
@@ -129,8 +144,8 @@ class ShardMap:
                 continue
             for node, rows in slices:
                 share = feature_bytes * rows / total_rows
-                for k in range(replication):
-                    local_bytes[(node + k) % n] += share
+                for replica in replica_nodes(node, replication, n):
+                    local_bytes[replica] += share
         total = max(1, n_features * feature_bytes)
         return cls(
             n_nodes=n,
@@ -175,8 +190,22 @@ class ClusterResult:
     wasted_energy_j: float = 0.0
     switches: int = 0  # runtime representation switches across the fleet
     switch_overhead_s: float = 0.0  # device time blocked by switching
+    node_seconds: float = 0.0  # total node-active time (fleet cost metric)
+    idle_energy_j: float = 0.0  # idle power burned over node-active time
+    scale_ups: int = 0  # autoscaling joins completed
+    scale_downs: int = 0  # autoscaling drains completed
+    handoff_overhead_s: float = 0.0  # device time blocked by shard warms
+    scale_events: list[ScaleEvent] = field(default_factory=list)
+
+    @property
+    def fleet_energy_j(self) -> float:
+        """Served-query energy plus the idle power of powered-on nodes —
+        the number an elastic fleet actually shrinks."""
+        return self.result.total_energy_j + self.idle_energy_j
 
     def summary(self) -> dict[str, float]:
+        """Merged metric vocabulary: the underlying serving metrics plus
+        fleet-level accounting (and scaling activity when present)."""
         merged = dict(self.result.summary())
         merged.update(
             n_nodes=self.n_nodes,
@@ -184,11 +213,19 @@ class ClusterResult:
             lost=self.lost,
             edge_drops=self.edge_drops,
             wasted_energy_j=self.wasted_energy_j,
+            node_seconds=self.node_seconds,
+            idle_energy_j=self.idle_energy_j,
         )
         if self.switches:
             merged.update(
                 switches=self.switches,
                 switch_overhead_s=self.switch_overhead_s,
+            )
+        if self.scale_ups or self.scale_downs:
+            merged.update(
+                scale_ups=self.scale_ups,
+                scale_downs=self.scale_downs,
+                handoff_overhead_s=self.handoff_overhead_s,
             )
         return merged
 
@@ -215,6 +252,14 @@ class ClusterSimulator:
     SwitchController`; each node gets its own clone (and its own scheduler
     copy, so one node's representation switch never leaks into another's
     path set).
+
+    ``autoscale``: optional :class:`~repro.serving.autoscale.
+    AutoscaleController` making the fleet elastic.  The plan must be
+    sized for ``autoscale.max_nodes`` (the fleet ceiling); membership
+    starts at ``autoscale.initial_nodes`` and every change re-shards onto
+    the new member count.  Elasticity and failure injection are mutually
+    exclusive — a failure breaks the membership-prefix invariant the
+    epoch shard maps index by.
     """
 
     def __init__(
@@ -233,6 +278,7 @@ class ClusterSimulator:
         fail_node: int = 0,
         track_energy: bool = True,
         switch_controller=None,
+        autoscale: AutoscaleController | None = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -252,6 +298,22 @@ class ClusterSimulator:
                 )
         if fail_at is not None and not 0 <= fail_node < n_nodes:
             raise ValueError("fail_node out of range")
+        if autoscale is not None:
+            if autoscale.max_nodes != n_nodes:
+                raise ValueError(
+                    f"the sharding plan is sized for {n_nodes} nodes but "
+                    f"autoscale.max_nodes is {autoscale.max_nodes}; build "
+                    "the plan for the fleet ceiling"
+                )
+            if fail_at is not None:
+                raise ValueError(
+                    "autoscaling and failure injection cannot be combined"
+                )
+            if replication > autoscale.min_nodes:
+                raise ValueError(
+                    f"replication {replication} exceeds autoscale.min_nodes "
+                    f"{autoscale.min_nodes}; every epoch must fit its chains"
+                )
         self.plan = plan
         self.shard_map = ShardMap.from_plan(plan, replication, hot_fraction)
         self._router_spec = router
@@ -265,7 +327,11 @@ class ClusterSimulator:
         self.fail_node = fail_node
         self.track_energy = track_energy
         self.switch_controller = switch_controller
+        self.autoscale = autoscale
         self.scheduler_name = schedulers[0].name
+        # Epoch cache: k-member (plan, shard map) pairs are deterministic
+        # functions of the ceiling plan, shared across runs.
+        self._epoch_cache: dict[int, tuple[ShardingPlan, ShardMap]] = {}
 
     # ---- public entry points ---------------------------------------------
 
@@ -281,11 +347,12 @@ class ClusterSimulator:
 
     # ---- kernel façade ---------------------------------------------------
 
-    def _make_cores(self, alive_ids: set[int]) -> list[EngineCore]:
-        # The exchange hook closes over this run's alive set — per-run
-        # state stays in the run, keeping the simulator reentrant.
+    def _make_cores(self, state: "_RunState", on_dispatch=None) -> list[EngineCore]:
+        # The exchange hook closes over this run's state (membership and
+        # the current epoch's shard map) — per-run state stays in the
+        # run, keeping the simulator reentrant.
         def exchange(core, batch):
-            return self._exchange_s(core, batch, alive_ids)
+            return self._exchange_s(core, batch, state)
 
         cores = []
         for node_id, sched in enumerate(self.schedulers):
@@ -308,31 +375,145 @@ class ClusterSimulator:
                     defer_commit=True,
                     service_extra=exchange,
                     switcher=switcher,
+                    on_dispatch=on_dispatch,
                 )
             )
         return cores
 
+    def _epoch(self, k: int) -> tuple[ShardingPlan, ShardMap]:
+        """The (plan, shard map) pair governing a ``k``-member epoch.
+
+        The full-fleet epoch is exactly the plan the simulator was built
+        with; smaller epochs re-shard the same tables onto ``k`` nodes
+        (deterministic, so the pairs are cached across runs)."""
+        if k == self.plan.n_nodes:
+            return self.plan, self.shard_map
+        cached = self._epoch_cache.get(k)
+        if cached is None:
+            plan = greedy_shard(self.plan.cardinalities(), self.plan.dim, k)
+            cached = (
+                plan,
+                ShardMap.from_plan(
+                    plan, self.shard_map.replication, self.shard_map.hot_fraction
+                ),
+            )
+            self._epoch_cache[k] = cached
+        return cached
+
     def _simulate(self, scenario: ServingScenario, sink) -> ClusterResult:
-        alive_ids = set(range(len(self.schedulers)))
-        cores = self._make_cores(alive_ids)
-        router = make_router(self._router_spec, shard_map=self.shard_map)
+        n_total = len(self.schedulers)
+        controller = self.autoscale.clone() if self.autoscale else None
+        k0 = controller.initial_nodes if controller else n_total
+        state = _RunState(self._epoch(k0)[1], list(range(k0)))
+        router = make_router(self._router_spec, shard_map=state.shard_map)
         router.reset()
         cluster = ClusterResult(
             result=sink.result,
-            n_nodes=len(cores),
+            n_nodes=n_total,
             router=router.name,
             replication=self.shard_map.replication,
-            per_node_served=[0] * len(cores),
-            per_node_dropped=[0] * len(cores),
+            per_node_served=[0] * n_total,
+            per_node_dropped=[0] * n_total,
         )
         coverage_ok = True
-        # Indices of failure-displaced queries awaiting re-admission; a
+        # Indices of displaced/drained queries awaiting re-admission; a
         # query only counts as rerouted once a surviving node accepts it
         # (a re-injection shed at the edge is an edge drop, not a reroute).
         reinjected: set[int] = set()
+        # Fleet accounting: when each member last became active, and the
+        # per-node active seconds accumulated by completed drains.
+        activated_at: dict[int, float] = {node: 0.0 for node in state.members}
+        active_seconds: dict[int, float] = {}
+        # One scale operation at a time: a join's warm window must finish
+        # before the next operation may start, which is what keeps
+        # membership a prefix of the node ids (and the epoch shard maps'
+        # node indexing sound).
+        pending_join: dict | None = None
+
+        def observe(core, path, wait_s, queue_s, batch_size, batch_queries,
+                    now, loop):
+            decision = controller.observe(
+                core, path, wait_s, queue_s, batch_size, batch_queries,
+                scenario.sla_s, len(state.members), now,
+            )
+            if decision == "up":
+                start_scale_up(now, loop)
+            elif decision == "down":
+                scale_down(now, loop)
+
+        cores = self._make_cores(
+            state, on_dispatch=observe if controller else None
+        )
+        for core in cores[k0:]:
+            core.alive = False  # powered off until a scale-up joins them
+        state.active = cores[:k0]
+
+        def start_scale_up(now, loop):
+            nonlocal pending_join
+            node = len(state.members)
+            next_plan, next_map = self._epoch(node + 1)
+            warm_bytes = shard_slice_bytes(
+                next_plan, node, self.shard_map.replication
+            )
+            warm_s = self.link.transfer_time(warm_bytes)
+            core = cores[node]
+            ready = now
+            for device in core.timeline.free_at:
+                ready = max(ready, core.timeline.block(device, now, warm_s))
+            pending_join = {
+                "node": node, "map": next_map, "warm_bytes": warm_bytes,
+                "warm_s": warm_s, "decided_s": now, "ready_s": ready,
+            }
+            loop.push(ready, CONTROL, ("join", node))
+
+        def finish_scale_up(now):
+            nonlocal pending_join
+            join, pending_join = pending_join, None
+            node = join["node"]
+            core = cores[node]
+            core.revive()
+            state.members.append(node)
+            state.active.append(core)
+            state.shard_map = join["map"]
+            router.update_shard_map(state.shard_map)
+            activated_at[node] = now
+            cluster.scale_ups += 1
+            cluster.handoff_overhead_s += join["warm_s"]
+            event = ScaleEvent(
+                time_s=join["decided_s"], ready_s=now, kind="up",
+                node_id=node, n_members=len(state.members),
+                warm_bytes=join["warm_bytes"], warm_s=join["warm_s"],
+            )
+            cluster.scale_events.append(event)
+            controller.on_scale_complete(now, event)
+
+        def scale_down(now, loop):
+            node = state.members.pop()
+            core = cores[node]
+            state.active.remove(core)
+            state.shard_map = self._epoch(len(state.members))[1]
+            router.update_shard_map(state.shard_map)
+            handed_back = core.drain()
+            for query in handed_back:
+                reinjected.add(query.index)
+                loop.push(now, ARRIVAL, query)
+            # The node stays powered until its dispatched batches finish.
+            busy_until = max(
+                max(pool) for pool in core.timeline.free_at.values()
+            )
+            active_seconds[node] = active_seconds.get(node, 0.0) + (
+                max(now, busy_until) - activated_at.pop(node)
+            )
+            cluster.scale_downs += 1
+            event = ScaleEvent(
+                time_s=now, ready_s=now, kind="down", node_id=node,
+                n_members=len(state.members), reinjected=len(handed_back),
+            )
+            cluster.scale_events.append(event)
+            controller.on_scale_complete(now, event)
 
         def admit(query, now):
-            candidates = [c for c in cores if c.alive and not c.full]
+            candidates = [c for c in state.active if c.alive and not c.full]
             if not candidates or not coverage_ok:
                 reinjected.discard(query.index)
                 drop_query(sink, query, scenario.sla_for(query))
@@ -344,16 +525,17 @@ class ClusterSimulator:
                 cluster.rerouted += 1
             return core
 
-        def on_control(kind, payload, now, loop):
+        def on_fail(node, now, loop):
             nonlocal coverage_ok
-            core = cores[payload]
+            core = cores[node]
             if not core.alive:
                 return
-            alive_ids.discard(payload)
-            cluster.failed_nodes.append(payload)
+            state.active.remove(core)
+            cluster.failed_nodes.append(node)
             displaced, wasted = core.displace()
             cluster.wasted_energy_j += wasted
-            coverage_ok = bool(alive_ids) and self.shard_map.coverage_ok(
+            alive_ids = {c.node_id for c in state.active}
+            coverage_ok = bool(alive_ids) and state.shard_map.coverage_ok(
                 alive_ids
             )
             if coverage_ok:
@@ -366,15 +548,50 @@ class ClusterSimulator:
                 cluster.lost += len(displaced)
                 for query in displaced:
                     drop_query(sink, query, scenario.sla_for(query))
+            active_seconds[node] = active_seconds.get(node, 0.0) + (
+                now - activated_at.pop(node)
+            )
 
-        extra_events = ()
+        def on_control(kind, payload, now, loop):
+            if isinstance(payload, int):
+                on_fail(payload, now, loop)
+                return
+            tag, op = payload
+            if tag == "join":
+                finish_scale_up(now)
+                return
+            # tag == "scale": a forced (scheduled) membership change.
+            if pending_join is not None:
+                # Serialize behind the in-flight join; the join's event
+                # carries an earlier sequence number, so at the retry
+                # instant it is guaranteed to have completed.
+                loop.push(pending_join["ready_s"], CONTROL, payload)
+                return
+            if op == "up" and len(state.members) < controller.max_nodes:
+                controller.on_scale_started()
+                start_scale_up(now, loop)
+            elif op == "down" and len(state.members) > controller.min_nodes:
+                controller.on_scale_started()
+                scale_down(now, loop)
+
+        extra_events: list[tuple] = []
         if self.fail_at is not None:
-            extra_events = ((self.fail_at, CONTROL, self.fail_node),)
-        run_kernel(
+            extra_events.append((self.fail_at, CONTROL, self.fail_node))
+        if controller is not None:
+            for time_s, op in controller.schedule:
+                extra_events.append((time_s, CONTROL, ("scale", op)))
+        end_s = run_kernel(
             cores, scenario, sink, admit,
-            extra_events=extra_events, on_control=on_control,
+            extra_events=tuple(extra_events), on_control=on_control,
         )
 
+        for node, since in activated_at.items():
+            active_seconds[node] = active_seconds.get(node, 0.0) + (
+                end_s - since
+            )
+        for node, seconds in active_seconds.items():
+            cluster.node_seconds += seconds
+            cluster.idle_energy_j += seconds * _node_idle_w(cores[node])
         for core in cores:
             cluster.per_node_served[core.node_id] = core.served
             cluster.per_node_dropped[core.node_id] = core.shed
@@ -385,13 +602,35 @@ class ClusterSimulator:
 
     # ---- helpers ---------------------------------------------------------
 
-    def _exchange_s(self, core: EngineCore, batch, alive_ids: set[int]) -> float:
+    def _exchange_s(self, core: EngineCore, batch, state: "_RunState") -> float:
         """Per-batch all-to-all embedding exchange on the cluster fabric."""
+        shard_map = state.shard_map
         remote = sum(
             q.size
-            * self.shard_map.remote_bytes_per_sample(
-                core.node_id, self.shard_map.group_of(q)
+            * shard_map.remote_bytes_per_sample(
+                core.node_id, shard_map.group_of(q)
             )
             for q in batch
         )
-        return alltoall_exchange_time(remote, len(alive_ids), self.link)
+        return alltoall_exchange_time(remote, len(state.active), self.link)
+
+
+class _RunState:
+    """Mutable per-run cluster state the kernel hooks close over: the
+    current epoch's shard map, the member ids (always a prefix), and the
+    routable cores."""
+
+    __slots__ = ("shard_map", "members", "active")
+
+    def __init__(self, shard_map: ShardMap, members: list[int]) -> None:
+        self.shard_map = shard_map
+        self.members = members
+        self.active: list[EngineCore] = []
+
+
+def _node_idle_w(core: EngineCore) -> float:
+    """Idle power of one node: its devices' idle draw, deduplicated."""
+    seen: dict[str, float] = {}
+    for path in core.scheduler.paths:
+        seen[path.device.name] = path.device.idle_w
+    return sum(seen.values())

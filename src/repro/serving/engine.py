@@ -150,6 +150,7 @@ class RecordSink:
 
     def observe(self, index, size, arrival_s, start_s, finish_s, path_label,
                 accuracy, energy_j, dropped, sla_s) -> None:
+        """Materialize one outcome as a :class:`QueryRecord`."""
         self.result.records.append(
             QueryRecord(
                 index=index, size=size, arrival_s=arrival_s, start_s=start_s,
@@ -170,6 +171,7 @@ class StreamingSink:
 
     def observe(self, index, size, arrival_s, start_s, finish_s, path_label,
                 accuracy, energy_j, dropped, sla_s) -> None:
+        """Fold one outcome into the streaming aggregates."""
         self.result.observe(
             size, arrival_s, start_s, finish_s, path_label, accuracy,
             energy_j=energy_j, dropped=dropped, sla_s=sla_s,
@@ -205,6 +207,7 @@ class EventLoop:
         return seq
 
     def pop(self) -> tuple:
+        """The earliest pending ``(time, seq, kind, payload)`` event."""
         return heapq.heappop(self._heap)
 
     def __bool__(self) -> bool:
@@ -244,9 +247,12 @@ class Batcher:
         return batch
 
     def clear(self) -> list:
-        """Drop the pending queries without dispatching (node failure)."""
+        """Drop the pending queries without dispatching (node failure or
+        drain); the generation bump invalidates any armed flush timer so
+        a later revival of the core cannot be flushed by a stale timer."""
         batch = self.pending
         self.pending = []
+        self.generation += 1
         self.armed = False
         return batch
 
@@ -272,7 +278,13 @@ class EngineCore:
     cannot see locally (the cluster's fabric exchange); ``defer_commit``
     moves outcome commit from dispatch to the finish event so a failure
     can invalidate in-flight batches; ``switcher`` is an optional
-    :class:`~repro.core.switching.SwitchController` observing dispatches.
+    :class:`~repro.core.switching.SwitchController` observing dispatches;
+    ``on_dispatch(core, path, wait_s, queue_s, batch_size, batch_queries,
+    now, loop)`` is a generic dispatch observer (the cluster feeds it to
+    the :class:`~repro.serving.autoscale.AutoscaleController` as its
+    fleet-pressure signal) — ``wait_s`` is the batch's worst member wait
+    (batching fill + device queue), ``queue_s`` the device-queue
+    component alone.
 
     The attributes routers key on — ``node_id``, ``inflight_queries``,
     ``alive``, ``full``, ``earliest_free_delay`` — live here, so a core
@@ -282,7 +294,8 @@ class EngineCore:
     __slots__ = (
         "node_id", "scheduler", "policy", "batcher", "timeline", "max_queue",
         "track_energy", "defer_commit", "service_extra", "switcher",
-        "alive", "in_flight", "inflight_queries", "served", "shed",
+        "on_dispatch", "alive", "in_flight", "inflight_queries", "served",
+        "shed",
     )
 
     def __init__(
@@ -298,6 +311,7 @@ class EngineCore:
         defer_commit: bool = False,
         service_extra=None,
         switcher=None,
+        on_dispatch=None,
     ) -> None:
         if max_queue < 0:
             raise ValueError("max_queue must be non-negative")
@@ -311,6 +325,7 @@ class EngineCore:
         self.defer_commit = defer_commit
         self.service_extra = service_extra
         self.switcher = switcher
+        self.on_dispatch = on_dispatch
         self.alive = True
         self.in_flight: dict[int, _InFlight] = {}
         self.inflight_queries = 0  # admission queue + dispatched, unfinished
@@ -323,9 +338,11 @@ class EngineCore:
 
     @property
     def full(self) -> bool:
+        """True when backpressure must withhold this node from routing."""
         return self.max_queue > 0 and self.inflight_queries >= self.max_queue
 
     def earliest_free_delay(self, now: float) -> float:
+        """Wait until any of this node's devices frees a slot."""
         return self.timeline.earliest_free_delay(now)
 
     @property
@@ -368,6 +385,7 @@ class EngineCore:
         self.served += len(batch.queries)
 
     def on_switch_complete(self, device: str, now: float) -> None:
+        """A representation switch's blocking window elapsed."""
         if self.switcher is not None:
             self.switcher.complete(self, device, now)
 
@@ -407,6 +425,11 @@ class EngineCore:
                     self, path, projected_start - batch[0].arrival_s,
                     total_size, scenario, now, loop,
                     batch_queries=len(batch),
+                )
+            if self.on_dispatch is not None:
+                self.on_dispatch(
+                    self, path, projected_start - batch[0].arrival_s,
+                    projected_start - now, total_size, len(batch), now, loop,
                 )
             return
 
@@ -454,8 +477,13 @@ class EngineCore:
                 admitted_size, scenario, now, loop,
                 batch_queries=len(admitted),
             )
+        if self.on_dispatch is not None:
+            self.on_dispatch(
+                self, path, projected_start - admitted[0].arrival_s,
+                projected_start - now, admitted_size, len(admitted), now, loop,
+            )
 
-    # ---- failure support -------------------------------------------------
+    # ---- failure / membership support ------------------------------------
 
     def displace(self) -> tuple[list, float]:
         """Kill the node: return its displaced queries and wasted energy."""
@@ -469,6 +497,24 @@ class EngineCore:
         self.inflight_queries = 0
         return displaced, wasted
 
+    def drain(self) -> list:
+        """Gracefully retire the node (scale-down): stop admitting, hand
+        back the queued-but-undispatched queries for re-routing, and let
+        already-dispatched batches run to completion — unlike
+        :meth:`displace`, no committed work (or energy) is wasted."""
+        pending = self.batcher.clear()
+        self.inflight_queries -= len(pending)
+        self.alive = False
+        return pending
+
+    def revive(self) -> None:
+        """Re-admit a drained node to service (scale-up reusing its slot).
+
+        Any batches still in flight from before the drain keep their
+        finish events; the batcher was cleared (and its flush generation
+        bumped) at drain time, so the revived core starts empty."""
+        self.alive = True
+
 
 def run_kernel(cores, scenario, sink, admit, extra_events=(), on_control=None):
     """Drive engine cores off one shared event heap until it drains.
@@ -476,14 +522,17 @@ def run_kernel(cores, scenario, sink, admit, extra_events=(), on_control=None):
     ``admit(query, now) -> EngineCore | None`` places each arrival (None
     means the arrival was consumed at the edge — the admitter records the
     drop itself). ``extra_events`` seeds façade-specific events (the
-    cluster's failure); ``on_control(kind, payload, now, loop)`` handles
-    any kind the kernel does not know.
+    cluster's failure or forced scale operations); ``on_control(kind,
+    payload, now, loop)`` handles any kind the kernel does not know.
+    Returns the timestamp of the last event processed — the run's end
+    time, which fleet accounting (node-seconds) needs.
     """
     loop = EventLoop()
     loop.seed_arrivals(scenario.queries)
     for time, kind, payload in extra_events:
         loop.push(time, kind, payload)
 
+    time = 0.0
     while loop:
         time, seq, kind, payload = loop.pop()
         if kind == ARRIVAL:
@@ -500,4 +549,4 @@ def run_kernel(cores, scenario, sink, admit, extra_events=(), on_control=None):
             cores[node_id].on_switch_complete(device, time)
         else:
             on_control(kind, payload, time, loop)
-    return loop
+    return time

@@ -49,10 +49,12 @@ class QueryRecord:
 
     @property
     def latency_s(self) -> float:
+        """Arrival-to-finish latency — what the SLA target judges."""
         return self.finish_s - self.arrival_s
 
     @property
     def correct_samples(self) -> float:
+        """Expected correct predictions this query contributed (0 if shed)."""
         if self.dropped:
             return 0.0
         return self.size * self.accuracy / 100.0
@@ -70,6 +72,7 @@ class ServingResult:
 
     @property
     def makespan_s(self) -> float:
+        """Time from the epoch to the last recorded finish."""
         if not self.records:
             return 0.0
         return max(r.finish_s for r in self.records)
@@ -115,6 +118,7 @@ class ServingResult:
 
     @property
     def achieved_qps(self) -> float:
+        """Queries handled per second of makespan (served and dropped)."""
         span = self.makespan_s
         return len(self.records) / span if span > 0 else 0.0
 
@@ -146,6 +150,7 @@ class ServingResult:
 
     @property
     def total_energy_j(self) -> float:
+        """Device energy spent on served queries, in joules."""
         return sum(r.energy_j for r in self.records)
 
     # ---- distributions ------------------------------------------------------
@@ -160,14 +165,17 @@ class ServingResult:
 
     @property
     def p50_latency_s(self) -> float:
+        """Median served latency, in seconds."""
         return self.latency_percentile(50)
 
     @property
     def p95_latency_s(self) -> float:
+        """95th-percentile served latency, in seconds."""
         return self.latency_percentile(95)
 
     @property
     def p99_latency_s(self) -> float:
+        """99th-percentile served latency, in seconds."""
         return self.latency_percentile(99)
 
     def switching_breakdown(self) -> dict[str, float]:
@@ -177,6 +185,7 @@ class ServingResult:
         return {label: count / total for label, count in sorted(counts.items())}
 
     def summary(self) -> dict[str, float]:
+        """The headline metric vocabulary as one printable dict."""
         return {
             "correct_tput": self.correct_prediction_throughput,
             "raw_tput": self.raw_throughput,
@@ -209,6 +218,7 @@ class P2Quantile:
         self.count = 0
 
     def observe(self, x: float) -> None:
+        """Fold one sample into the five-marker state."""
         self.count += 1
         if self._heights:
             self._update(x)
@@ -263,6 +273,7 @@ class P2Quantile:
 
     @property
     def value(self) -> float:
+        """The current estimate of the tracked quantile."""
         if self._heights:
             return self._heights[2]
         if not self._initial:
@@ -288,6 +299,7 @@ class ReservoirSampler:
         self._cursor = 0
 
     def observe(self, x: float) -> None:
+        """Offer one sample; it survives with probability capacity/count."""
         self.count += 1
         if len(self._sample) < self.capacity:
             self._sample.append(x)
@@ -301,6 +313,7 @@ class ReservoirSampler:
             self._sample[j] = x
 
     def percentile(self, q: float) -> float:
+        """Percentile estimate over the reservoir's current sample."""
         if not self._sample:
             return 0.0
         return float(np.percentile(self._sample, q))
@@ -379,6 +392,7 @@ class StreamingMetrics:
         self._reservoir.observe(latency)
 
     def observe_record(self, record: QueryRecord, sla_s: float | None = None) -> None:
+        """Fold one materialized :class:`QueryRecord` (record-sink shim)."""
         self.observe(
             record.size, record.arrival_s, record.start_s, record.finish_s,
             record.path_label, record.accuracy, energy_j=record.energy_j,
@@ -390,44 +404,53 @@ class StreamingMetrics:
 
     @property
     def makespan_s(self) -> float:
+        """Time from the epoch to the latest observed finish."""
         return self._max_finish
 
     @property
     def raw_throughput(self) -> float:
+        """Samples served per second."""
         span = self.makespan_s
         return self.total_samples / span if span > 0 else 0.0
 
     @property
     def correct_prediction_throughput(self) -> float:
+        """QPS x QuerySize x Accuracy, aggregated (Section 5.4)."""
         span = self.makespan_s
         return self._correct_sum / span if span > 0 else 0.0
 
     @property
     def compliant_correct_throughput(self) -> float:
+        """Correct predictions per second over SLA-compliant queries only."""
         span = self.makespan_s
         return self._compliant_correct_sum / span if span > 0 else 0.0
 
     @property
     def achieved_qps(self) -> float:
+        """Queries handled per second of makespan (served and dropped)."""
         span = self.makespan_s
         return self.n / span if span > 0 else 0.0
 
     @property
     def violation_rate(self) -> float:
+        """Fraction of queries late or dropped against their SLA target."""
         return self.n_violations / self.n if self.n else 0.0
 
     @property
     def drop_rate(self) -> float:
+        """Fraction of queries shed before execution."""
         return self.n_dropped / self.n if self.n else 0.0
 
     @property
     def mean_accuracy(self) -> float:
+        """Sample-weighted accuracy of served predictions (percent)."""
         if self.total_samples == 0:
             return 0.0
         return self._accuracy_weighted_sum / self.total_samples
 
     @property
     def total_energy_j(self) -> float:
+        """Device energy spent on served queries, in joules."""
         return self._energy_sum
 
     # ---- distributions ------------------------------------------------------
@@ -442,17 +465,21 @@ class StreamingMetrics:
 
     @property
     def p50_latency_s(self) -> float:
+        """Median served latency, in seconds (P² estimate)."""
         return self.latency_percentile(50)
 
     @property
     def p95_latency_s(self) -> float:
+        """95th-percentile served latency, in seconds (P² estimate)."""
         return self.latency_percentile(95)
 
     @property
     def p99_latency_s(self) -> float:
+        """99th-percentile served latency, in seconds (P² estimate)."""
         return self.latency_percentile(99)
 
     def switching_breakdown(self) -> dict[str, float]:
+        """Fraction of queries served by each path (Figure 15)."""
         if not self.n:
             return {}
         return {
@@ -461,6 +488,7 @@ class StreamingMetrics:
         }
 
     def summary(self) -> dict[str, float]:
+        """The headline metric vocabulary as one printable dict."""
         return {
             "correct_tput": self.correct_prediction_throughput,
             "raw_tput": self.raw_throughput,

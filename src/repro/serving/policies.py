@@ -54,6 +54,7 @@ class NoShed(ShedPolicy):
     name = "none"
 
     def admit(self, wait_s: float, service_s: float, sla_s: float) -> bool:
+        """Admit unconditionally."""
         return True
 
 
@@ -64,6 +65,7 @@ class DropLate(ShedPolicy):
     name = "drop-late"
 
     def admit(self, wait_s: float, service_s: float, sla_s: float) -> bool:
+        """Admit while the queue wait alone still fits the SLA."""
         return wait_s <= sla_s
 
 
@@ -83,6 +85,7 @@ class DeadlineAware(ShedPolicy):
             raise ValueError("slack must be positive")
 
     def admit(self, wait_s: float, service_s: float, sla_s: float) -> bool:
+        """Admit while the projected completion fits ``slack * sla``."""
         return wait_s + service_s <= self.slack * sla_s
 
 

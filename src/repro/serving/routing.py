@@ -41,11 +41,17 @@ class Router:
     def select_node(
         self, query: "Query", now: float, candidates: Sequence["ClusterNode"]
     ) -> "ClusterNode":
+        """Pick exactly one of the offered (alive, non-full) nodes."""
         raise NotImplementedError
 
     def reset(self) -> None:
         """Clear any routing state; the cluster calls this at the start of
         every run so repeated runs of one simulator stay deterministic."""
+
+    def update_shard_map(self, shard_map: "ShardMap") -> None:
+        """Membership changed (autoscaling rebuilt the shard map for the
+        new epoch); placement-aware routers must re-key on the new map.
+        Placement-oblivious routers ignore it."""
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -65,11 +71,13 @@ class RoundRobinRouter(Router):
         self._next = 0
 
     def reset(self) -> None:
+        """Rewind the cursor to node 0."""
         self._next = 0
 
     def select_node(
         self, query: "Query", now: float, candidates: Sequence["ClusterNode"]
     ) -> "ClusterNode":
+        """The next candidate at or after the cursor, wrapping."""
         # Candidates arrive sorted by node id; serve the first candidate at
         # or after the cursor, wrapping — dead/full nodes are simply absent.
         chosen = min(
@@ -88,6 +96,7 @@ class LeastLoadedRouter(Router):
     def select_node(
         self, query: "Query", now: float, candidates: Sequence["ClusterNode"]
     ) -> "ClusterNode":
+        """The candidate with the smallest deterministic load key."""
         return min(candidates, key=lambda n: _load_key(n, now))
 
 
@@ -104,9 +113,15 @@ class ShardLocalityRouter(Router):
     def __init__(self, shard_map: "ShardMap") -> None:
         self.shard_map = shard_map
 
+    def update_shard_map(self, shard_map: "ShardMap") -> None:
+        """Re-key locality decisions on the new epoch's ownership."""
+        self.shard_map = shard_map
+
     def select_node(
         self, query: "Query", now: float, candidates: Sequence["ClusterNode"]
     ) -> "ClusterNode":
+        """The least-loaded owner of the query's hot shard group
+        (least-loaded of all candidates when no owner is offered)."""
         group = self.shard_map.group_of(query)
         owners = [
             n for n in candidates if n.node_id in self.shard_map.owners[group]

@@ -143,6 +143,7 @@ class ReferenceSimulator:
         self.shed_policy = shed_policy
 
     def run(self, scenario: ServingScenario) -> ServingResult:
+        """Serve the scenario query by query, strictly in arrival order."""
         free_at: dict[str, list[float]] = {
             path.device.name: [0.0] * path.device.concurrency
             for path in self.scheduler.paths

@@ -66,6 +66,8 @@ class ServingScenario:
         sla_s: float = 0.010,
         seed: int = 0,
     ) -> "ServingScenario":
+        """The paper's stationary Section 5.3 condition (Poisson at 1k
+        QPS, 128-sample queries, 10 ms SLA) with overridable knobs."""
         return cls(
             queries=generate_query_set(
                 n_queries=n_queries, mean_size=mean_size, qps=qps, seed=seed

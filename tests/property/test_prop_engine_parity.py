@@ -11,7 +11,11 @@ every shed policy, batching on and off, single- and multi-tenant:
   cluster adds zero exchange and trivial routing, nothing else);
 - **kernel == reference loop**, record for record, whenever the
   reference's semantics apply (batching disabled, ``none`` /
-  ``drop-late`` shedding, single-tenant SLA).
+  ``drop-late`` shedding, single-tenant SLA);
+- **elastic == static**, record for record, when the autoscale
+  controller never fires (the elastic plumbing is a strict no-op), and
+  the **zero-loss drain invariant**: a fleet forced through a
+  2 -> 4 -> 2 membership cycle accounts every query exactly once.
 """
 
 from hypothesis import given, settings, strategies as st
@@ -20,6 +24,7 @@ from repro.analysis.sharding import greedy_shard
 from repro.core.online import MultiPathScheduler, StaticScheduler
 from repro.data.queries import Query, QuerySet
 from repro.hardware.catalog import CPU_BROADWELL, GPU_V100
+from repro.serving.autoscale import AutoscaleController
 from repro.serving.cluster import ClusterSimulator
 from repro.serving.simulator import ReferenceSimulator, ServingSimulator
 from repro.serving.workload import ServingScenario, TenantSpec
@@ -151,3 +156,68 @@ def test_every_query_accounted_exactly_once(
     assert sorted(r.index for r in result.records) == (
         [q.index for q in scenario.queries]
     )
+
+
+@settings(max_examples=30, deadline=None)
+@given(gaps=gaps, sizes=query_sizes, sla=slas, policy=policies,
+       batch=batches, sched_kind=schedulers,
+       router=st.sampled_from(["round-robin", "least-loaded", "locality"]),
+       replication=st.sampled_from([1, 2]))
+def test_scale_2_4_2_accounts_every_query_exactly_once(
+    gaps, sizes, sla, policy, batch, sched_kind, router, replication
+):
+    """The zero-loss drain invariant: a fleet forced through a
+    2 -> 4 -> 2 membership cycle (two joins, two drains, live shard
+    handoff both ways) neither loses nor duplicates a single query."""
+    scheduler = build_scheduler(sched_kind)
+    scenario = build_scenario(gaps, sizes, sla)
+    horizon = scenario.queries.queries[-1].arrival_s or 1e-3
+    controller = AutoscaleController(
+        min_nodes=2, max_nodes=4,
+        # Pressure never fires; the forced schedule drives membership.
+        hi_pressure=1e9, lo_pressure=0.0, patience=10**9,
+        patience_down=10**9, cooldown_s=0.0,
+        schedule=(
+            (horizon * 0.2, "up"), (horizon * 0.4, "up"),
+            (horizon * 0.6, "down"), (horizon * 0.8, "down"),
+        ),
+    )
+    plan = greedy_shard([1000, 2000, 500, 1500], 16, 4)
+    cluster = ClusterSimulator(
+        scheduler, plan, router=router, replication=replication,
+        shed_policy=policy, max_batch_size=batch, batch_timeout_s=0.001,
+        autoscale=controller,
+    )
+    result = cluster.run(scenario)
+    assert result.scale_ups == 2 and result.scale_downs == 2
+    assert result.lost == 0
+    assert sorted(r.index for r in result.result.records) == (
+        [q.index for q in scenario.queries]
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(gaps=gaps, sizes=query_sizes, sla=slas, policy=policies,
+       batch=batches, sched_kind=schedulers, tenants=st.booleans())
+def test_elastic_cluster_is_noop_when_controller_never_fires(
+    gaps, sizes, sla, policy, batch, sched_kind, tenants
+):
+    """With min == max == initial membership the autoscale plumbing (epoch
+    state, dispatch observer, membership-aware routing) must be a strict
+    no-op: the elastic fleet reproduces the static 4-node run record for
+    record."""
+    scheduler = build_scheduler(sched_kind)
+    scenario = build_scenario(gaps, sizes, sla, tenants=tenants)
+    plan = greedy_shard([1000, 2000, 500, 1500], 16, 4)
+    static = ClusterSimulator(
+        scheduler, plan, shed_policy=policy, max_batch_size=batch,
+        batch_timeout_s=0.001,
+    )
+    elastic = ClusterSimulator(
+        scheduler, plan, shed_policy=policy, max_batch_size=batch,
+        batch_timeout_s=0.001,
+        autoscale=AutoscaleController(min_nodes=4, max_nodes=4),
+    )
+    expected = sorted_records(static.run(scenario).result)
+    got = sorted_records(elastic.run(scenario).result)
+    assert got == expected

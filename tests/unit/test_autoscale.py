@@ -1,0 +1,323 @@
+"""Unit tests for elastic autoscaling: the controller's hysteresis, the
+shard-slice warm pricing, and the cluster's scale mechanics (membership,
+handoff, zero-loss drain, node-seconds accounting)."""
+
+import pytest
+
+from repro.analysis.sharding import greedy_shard
+from repro.core.online import StaticScheduler
+from repro.data.queries import Query, QuerySet
+from repro.hardware.catalog import CPU_BROADWELL
+from repro.hardware.topology import ETHERNET_100G
+from repro.serving.autoscale import (
+    AutoscaleController,
+    shard_slice_bytes,
+)
+from repro.serving.cluster import ClusterSimulator
+from repro.serving.workload import ServingScenario
+
+from tests.unit.test_online import fake_path
+
+SLA_S = 0.010
+
+
+def scheduler():
+    return StaticScheduler(
+        [fake_path("table", CPU_BROADWELL, 78.79, 2e-3, label="T")]
+    )
+
+
+def steady_scenario(n=400, qps=4000.0, sla_s=SLA_S):
+    queries = [
+        Query(index=i, size=1, arrival_s=i / qps) for i in range(n)
+    ]
+    return ServingScenario(queries=QuerySet(queries=queries), sla_s=sla_s)
+
+
+def elastic_cluster(max_nodes=4, schedule=(), replication=1, **controller_kwargs):
+    controller = AutoscaleController(
+        min_nodes=max(2, replication), max_nodes=max_nodes,
+        schedule=schedule,
+        # Pressure thresholds that never fire by themselves unless a test
+        # overrides them: forced schedules drive the membership instead.
+        **{"hi_pressure": 1e9, "lo_pressure": 0.0, "patience": 10**9,
+           "patience_down": 10**9, **controller_kwargs},
+    )
+    plan = greedy_shard([4000, 3000, 2000, 1000], 16, max_nodes)
+    return ClusterSimulator(
+        scheduler(), plan, replication=replication,
+        max_batch_size=4, batch_timeout_s=0.001, autoscale=controller,
+    )
+
+
+class TestControllerValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            AutoscaleController(min_nodes=3, max_nodes=2)
+        with pytest.raises(ValueError):
+            AutoscaleController(min_nodes=0, max_nodes=2)
+        with pytest.raises(ValueError):
+            AutoscaleController(min_nodes=1, max_nodes=4, initial_nodes=5)
+
+    def test_thresholds_and_patience(self):
+        with pytest.raises(ValueError):
+            AutoscaleController(1, 2, hi_pressure=0.2, lo_pressure=0.5)
+        with pytest.raises(ValueError):
+            AutoscaleController(1, 2, patience=0)
+        with pytest.raises(ValueError):
+            AutoscaleController(1, 2, cooldown_s=-1.0)
+
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError):
+            AutoscaleController(1, 2, schedule=((0.1, "sideways"),))
+        with pytest.raises(ValueError):
+            AutoscaleController(1, 2, schedule=((-0.1, "up"),))
+
+    def test_initial_defaults_to_min(self):
+        assert AutoscaleController(2, 5).initial_nodes == 2
+
+
+class FakeCore:
+    """Just enough of an EngineCore for controller.observe()."""
+
+    class _Batcher:
+        timeout_s = 0.002
+        max_batch_size = 8
+
+    batcher = _Batcher()
+
+
+class TestControllerDecision:
+    PATH = fake_path("table", CPU_BROADWELL, 78.79, 1e-5, per_sample=1e-7)
+
+    def controller(self, **kwargs):
+        defaults = dict(
+            min_nodes=1, max_nodes=4, hi_pressure=0.75, lo_pressure=0.25,
+            util_hi=0.95, patience=3, patience_down=4, cooldown_s=1.0,
+        )
+        defaults.update(kwargs)
+        return AutoscaleController(**defaults)
+
+    def observe(self, ctl, wait_s, queue_s, n_members=2, now=0.0, batch=1):
+        return ctl.observe(
+            FakeCore(), self.PATH, wait_s, queue_s, batch, batch,
+            SLA_S, n_members, now,
+        )
+
+    def test_surge_after_patience(self):
+        ctl = self.controller()
+        hot = 0.9 * SLA_S
+        assert self.observe(ctl, hot, hot) is None
+        assert self.observe(ctl, hot, hot) is None
+        assert self.observe(ctl, hot, hot) == "up"
+
+    def test_surge_streak_resets_in_band(self):
+        ctl = self.controller()
+        hot, mid = 0.9 * SLA_S, 0.5 * SLA_S
+        self.observe(ctl, hot, hot)
+        self.observe(ctl, hot, hot)
+        self.observe(ctl, mid, mid)  # band: resets the streak
+        assert self.observe(ctl, hot, hot) is None
+
+    def test_calm_uses_queue_component_not_fill_wait(self):
+        # A trough batch waits out the flush window (large wait_s) but has
+        # an empty device queue: that is calm, not band.
+        ctl = self.controller()
+        fill = 0.6 * SLA_S
+        for _ in range(3):
+            assert self.observe(ctl, fill, 0.0) is None
+        assert self.observe(ctl, fill, 0.0) == "down"
+
+    def test_calm_blocked_by_postdrain_projection(self):
+        # Large batches (high window utilization) forbid draining even
+        # with an empty queue: the survivors could not absorb the load.
+        ctl = self.controller(util_lo=0.1)
+        for _ in range(10):
+            assert self.observe(ctl, 0.0, 0.0, batch=4096) is None
+
+    def test_bounds_gate_firing(self):
+        ctl = self.controller()
+        hot = 0.9 * SLA_S
+        for _ in range(5):
+            assert self.observe(ctl, hot, hot, n_members=4) is None
+        calm_ctl = self.controller()
+        for _ in range(6):
+            assert self.observe(calm_ctl, 0.0, 0.0, n_members=1) is None
+
+    def test_in_progress_and_cooldown_gate(self):
+        ctl = self.controller()
+        hot = 0.9 * SLA_S
+        for _ in range(2):
+            self.observe(ctl, hot, hot)
+        assert self.observe(ctl, hot, hot) == "up"
+        # In progress: frozen.
+        assert self.observe(ctl, hot, hot) is None
+        from repro.serving.autoscale import ScaleEvent
+        ctl.on_scale_complete(0.0, ScaleEvent(0.0, 0.0, "up", 2, 3))
+        # Cooldown (1 s): still frozen...
+        for _ in range(5):
+            assert self.observe(ctl, hot, hot, now=0.5) is None
+        # ...then live again.
+        for _ in range(2):
+            assert self.observe(ctl, hot, hot, now=1.5) is None
+        assert self.observe(ctl, hot, hot, now=1.5) == "up"
+
+    def test_clone_copies_config_not_state(self):
+        ctl = self.controller()
+        hot = 0.9 * SLA_S
+        self.observe(ctl, hot, hot)
+        clone = ctl.clone()
+        assert clone.patience == ctl.patience
+        assert clone._surge == 0 and not clone.events
+
+
+class TestShardSliceBytes:
+    def test_single_replica_matches_plan_bytes(self):
+        plan = greedy_shard([1000, 2000, 500], 16, 2)
+        per_node = plan.node_bytes()
+        for node in range(2):
+            assert shard_slice_bytes(plan, node) == int(per_node[node])
+
+    def test_replication_chains_slices(self):
+        plan = greedy_shard([1000, 2000, 500], 16, 2)
+        total = sum(int(b) for b in plan.node_bytes())
+        # Replication 2 on 2 nodes: every node hosts everything.
+        for node in range(2):
+            assert shard_slice_bytes(plan, node, replication=2) == total
+
+    def test_validation(self):
+        plan = greedy_shard([1000], 16, 2)
+        with pytest.raises(ValueError):
+            shard_slice_bytes(plan, 5)
+        with pytest.raises(ValueError):
+            shard_slice_bytes(plan, 0, replication=3)
+
+
+class TestClusterScaling:
+    def test_forced_join_prices_warm_window(self):
+        sim = elastic_cluster(max_nodes=3, schedule=((0.02, "up"),))
+        result = sim.run(steady_scenario())
+        assert result.scale_ups == 1
+        [event] = result.scale_events
+        assert event.kind == "up" and event.node_id == 2
+        assert event.warm_bytes == shard_slice_bytes(
+            sim._epoch(3)[0], 2, 1
+        )
+        assert event.warm_s == ETHERNET_100G.transfer_time(event.warm_bytes)
+        assert event.ready_s - event.time_s >= event.warm_s - 1e-12
+        # The joining node served traffic only after its warm.
+        assert result.per_node_served[2] > 0
+        assert result.handoff_overhead_s == event.warm_s
+
+    def test_forced_drain_is_zero_loss(self):
+        sim = elastic_cluster(max_nodes=3, schedule=((0.0, "up"), (0.05, "down")))
+        scenario = steady_scenario()
+        result = sim.run(scenario)
+        assert result.scale_downs == 1
+        down = [e for e in result.scale_events if e.kind == "down"][0]
+        assert down.node_id == 2 and down.n_members == 2
+        assert result.lost == 0 and result.edge_drops == 0
+        # Every query accounted exactly once, none dropped.
+        indices = sorted(r.index for r in result.result.records)
+        assert indices == [q.index for q in scenario.queries]
+        assert all(not r.dropped for r in result.result.records)
+        # Handed-back queries count as rerouted once re-admitted.
+        assert result.rerouted == down.reinjected
+
+    def test_scale_ops_serialize_behind_warm(self):
+        # Two forced ups at the same instant: the second queues behind the
+        # first join's warm window and lands on the next node id.
+        sim = elastic_cluster(max_nodes=4, schedule=((0.01, "up"), (0.01, "up")))
+        result = sim.run(steady_scenario())
+        assert result.scale_ups == 2
+        ups = [e for e in result.scale_events if e.kind == "up"]
+        assert [e.node_id for e in ups] == [2, 3]
+        assert ups[1].time_s >= ups[0].ready_s
+
+    def test_ops_at_bounds_are_skipped(self):
+        sim = elastic_cluster(
+            max_nodes=2, schedule=((0.01, "up"), (0.02, "down"))
+        )
+        result = sim.run(steady_scenario())
+        # min == max == membership: neither op can apply.
+        assert result.scale_ups == 0 and result.scale_downs == 0
+
+    def test_node_seconds_static_is_full_fleet(self):
+        plan = greedy_shard([4000, 3000], 16, 2)
+        sim = ClusterSimulator(scheduler(), plan, max_batch_size=4)
+        result = sim.run(steady_scenario())
+        makespan = result.result.makespan_s
+        assert result.node_seconds == pytest.approx(2 * makespan)
+        assert result.idle_energy_j > 0
+
+    def test_node_seconds_elastic_is_less_than_ceiling(self):
+        sim = elastic_cluster(max_nodes=4, schedule=((0.05, "up"),))
+        result = sim.run(steady_scenario())
+        makespan = result.result.makespan_s
+        assert result.node_seconds < 4 * makespan
+        # Two members all run + one member for the post-join remainder.
+        assert result.node_seconds == pytest.approx(
+            2 * makespan + (makespan - result.scale_events[0].ready_s),
+            rel=1e-6,
+        )
+
+    def test_repeated_runs_are_deterministic(self):
+        sim = elastic_cluster(max_nodes=3, schedule=((0.0, "up"), (0.05, "down")))
+        scenario = steady_scenario()
+        first = sim.run(scenario)
+        second = sim.run(scenario)
+        assert first.summary() == second.summary()
+        assert first.result.records == second.result.records
+
+    def test_pressure_driven_scale_up_and_down(self):
+        # A saturating burst then silence: the fleet grows under pressure
+        # and drains back to the floor.
+        controller = AutoscaleController(
+            min_nodes=1, max_nodes=3, hi_pressure=0.75, lo_pressure=0.25,
+            patience=2, patience_down=4, cooldown_s=0.0,
+        )
+        plan = greedy_shard([4000, 3000, 2000], 16, 3)
+        sim = ClusterSimulator(
+            scheduler(), plan, max_batch_size=4, batch_timeout_s=0.001,
+            autoscale=controller,
+        )
+        burst = [Query(index=i, size=64, arrival_s=i * 1e-4) for i in range(120)]
+        tail = [
+            Query(index=120 + i, size=1, arrival_s=0.5 + i * 0.01)
+            for i in range(80)
+        ]
+        scenario = ServingScenario(
+            queries=QuerySet(queries=burst + tail), sla_s=SLA_S
+        )
+        result = sim.run(scenario)
+        assert result.scale_ups >= 1
+        assert result.scale_downs >= 1
+        assert result.lost == 0
+        indices = sorted(r.index for r in result.result.records)
+        assert indices == list(range(200))
+
+
+class TestClusterValidation:
+    def test_plan_must_match_ceiling(self):
+        plan = greedy_shard([4000], 16, 3)
+        with pytest.raises(ValueError, match="max_nodes"):
+            ClusterSimulator(
+                scheduler(), plan,
+                autoscale=AutoscaleController(min_nodes=1, max_nodes=4),
+            )
+
+    def test_no_failure_injection_with_autoscale(self):
+        plan = greedy_shard([4000], 16, 3)
+        with pytest.raises(ValueError, match="failure"):
+            ClusterSimulator(
+                scheduler(), plan, fail_at=0.1,
+                autoscale=AutoscaleController(min_nodes=1, max_nodes=3),
+            )
+
+    def test_replication_bounded_by_floor(self):
+        plan = greedy_shard([4000], 16, 3)
+        with pytest.raises(ValueError, match="replication"):
+            ClusterSimulator(
+                scheduler(), plan, replication=2,
+                autoscale=AutoscaleController(min_nodes=1, max_nodes=3),
+            )

@@ -104,6 +104,69 @@ class TestCommands:
         assert code == 2
         assert "--nodes" in capsys.readouterr().err
 
+    def test_serve_autoscale(self, capsys):
+        code = main([
+            "serve", "--dataset", "kaggle", "--queries", "400", "--qps",
+            "30000", "--autoscale", "--nodes", "4", "--min-nodes", "2",
+            "--replication", "2", "--max-batch", "8",
+            "--batch-timeout-ms", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "elastic cluster        : 2..4 nodes" in out
+        assert "node-seconds" in out
+
+    def test_serve_autoscale_flag_hygiene(self, capsys):
+        # Autoscale-only flags must not be silently eaten without --autoscale.
+        code = main(["serve", "--min-nodes", "2", "--queries", "10"])
+        assert code == 2
+        assert "--autoscale" in capsys.readouterr().err
+        code = main(["serve", "--max-nodes", "4", "--queries", "10"])
+        assert code == 2
+        assert "--autoscale" in capsys.readouterr().err
+        code = main(["serve", "--scale-cooldown", "100", "--queries", "10"])
+        assert code == 2
+        assert "--autoscale" in capsys.readouterr().err
+        # --autoscale on a 1-node "fleet" is rejected.
+        code = main(["serve", "--autoscale", "--queries", "10"])
+        assert code == 2
+        assert "--nodes" in capsys.readouterr().err
+        # A floor above the ceiling is rejected.
+        code = main([
+            "serve", "--autoscale", "--nodes", "4", "--min-nodes", "5",
+            "--queries", "10",
+        ])
+        assert code == 2
+        assert "--min-nodes" in capsys.readouterr().err
+        # Conflicting ceilings are rejected.
+        code = main([
+            "serve", "--autoscale", "--nodes", "4", "--max-nodes", "8",
+            "--queries", "10",
+        ])
+        assert code == 2
+        assert "--max-nodes" in capsys.readouterr().err
+        # Elasticity and the failure drill cannot be combined.
+        code = main([
+            "serve", "--autoscale", "--nodes", "4", "--fail-at", "0.1",
+            "--queries", "10",
+        ])
+        assert code == 2
+        assert "--fail-at" in capsys.readouterr().err
+        # Replication chains must fit the smallest epoch.
+        code = main([
+            "serve", "--autoscale", "--nodes", "4", "--min-nodes", "2",
+            "--replication", "3", "--queries", "10",
+        ])
+        assert code == 2
+        assert "--replication" in capsys.readouterr().err
+        # Switching fleets stay out of scope.
+        code = main([
+            "serve", "--switching", "--autoscale", "--max-nodes", "4",
+            "--queries", "10",
+        ])
+        assert code == 2
+        assert "single-node" in capsys.readouterr().err
+
     def test_serve_switching(self, capsys):
         code = main([
             "serve", "--dataset", "kaggle", "--queries", "300", "--qps",
