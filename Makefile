@@ -29,7 +29,8 @@ perf-smoke:
 		benchmarks/test_serving_engine_scale.py \
 		benchmarks/test_workload_generation.py \
 		benchmarks/test_runtime_switching.py \
-		benchmarks/test_autoscaling.py
+		benchmarks/test_autoscaling.py \
+		benchmarks/test_cluster_cache.py
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

@@ -84,38 +84,55 @@ def run_fig16():
 def test_fig16_mp_cache(benchmark, record):
     top, t_exact, variants = benchmark.pedantic(run_fig16, rounds=1, iterations=1)
 
+    # Hit rates and approximation errors are deterministic (seeded model
+    # + traffic); the measured wall-clock speedups are not and live in
+    # the untracked raw record, with their pinned bands as checks.
     lines = [
         "-- (a) access frequency (power law) --",
         fmt_row("hottest id", count=int(top[0])),
         fmt_row("rank-100 id", count=int(top[99])),
         fmt_row("median id", count=int(np.median(top))),
-        "-- (b) cached DHE wall-clock vs exact encoder-decoder stack --",
+        "-- (b) cache tiers: residency and approximation (deterministic) --",
+    ]
+    for label, row in variants.items():
+        lines.append(fmt_row(
+            label, hit_rate=row["hit_rate"], rel_error=row["rel_error"],
+        ))
+    lines.append("paper anchors: 2KB -> 1.57x, 2MB -> 1.92x; decoder kNN "
+                 "closes the remaining gap")
+    volatile = [
+        "-- measured wall-clock vs exact encoder-decoder stack --",
         fmt_row("exact stack", seconds=t_exact),
     ]
     for label, row in variants.items():
-        lines.append(fmt_row(label, **row))
-    lines.append("paper anchors: 2KB -> 1.57x, 2MB -> 1.92x; decoder kNN "
-                 "closes the remaining gap")
-    record("Figure 16: MP-Cache analysis", lines)
+        volatile.append(fmt_row(label, speedup=row["speedup"]))
+
+    small, large = variants["encoder-2KB"], variants["encoder-2MB"]
+    dec = variants["decoder-only-N256"]
+    both = variants["both-2MB-N256"]
+    coarse = variants["both-2MB-N64"]
+    checks = [
+        ("encoder-2KB speedup > 1.1x", small["speedup"] > 1.1),
+        ("encoder cache speedup grows with capacity",
+         small["speedup"] < large["speedup"]),
+        ("encoder-2MB speedup > 1.4x", large["speedup"] > 1.4),
+        ("decoder kNN tier alone > 1.2x", dec["speedup"] > 1.2),
+        ("both tiers >= each tier alone",
+         both["speedup"] >= large["speedup"]
+         and both["speedup"] >= dec["speedup"]),
+    ]
+    record(
+        "Figure 16: MP-Cache analysis", lines, volatile=volatile,
+        checks=checks,
+    )
 
     # (a) Power law: the hot head dwarfs the median (paper: 10K+ vs ~1).
     assert top[0] > 50 * max(1, np.median(top))
-    # (b) Encoder cache speedups grow with capacity, in the paper's band.
-    small, large = variants["encoder-2KB"], variants["encoder-2MB"]
-    assert 1.1 < small["speedup"], small
-    assert small["speedup"] < large["speedup"]
-    assert large["speedup"] > 1.4
+    # (b) The pinned wall-clock bands, enforced.
+    assert all(ok for _, ok in checks), checks
     # Encoder-tier outputs are exact.
     assert small["rel_error"] < 1e-9
     assert large["hit_rate"] > small["hit_rate"]
-    # Decoder tier alone accelerates with bounded approximation error.
-    dec = variants["decoder-only-N256"]
-    assert dec["speedup"] > 1.2
+    # Decoder approximation error is bounded; fewer centroids -> coarser.
     assert dec["rel_error"] < 0.9
-    # Both tiers: the best speedup of all (closes the gap to tables).
-    both = variants["both-2MB-N256"]
-    assert both["speedup"] >= large["speedup"]
-    assert both["speedup"] >= dec["speedup"]
-    # Fewer centroids -> faster but coarser.
-    coarse = variants["both-2MB-N64"]
     assert coarse["rel_error"] >= both["rel_error"] * 0.8

@@ -64,16 +64,29 @@ def test_engine_scale_speedup(benchmark, record):
         run_scale, rounds=1, iterations=1
     )
     speedup = t_reference / t_batched
-    lines = [
-        fmt_row("reference", wall_s=t_reference, qps=N_QUERIES / t_reference),
-        fmt_row("batched", wall_s=t_batched, qps=N_QUERIES / t_batched,
-                speedup=speedup),
-        fmt_row("streaming", wall_s=t_streaming, qps=N_QUERIES / t_streaming,
-                speedup=t_reference / t_streaming),
-    ]
-    record(f"Engine scale: {N_QUERIES} queries @ {QPS:.0f} QPS", lines)
+    counters_match = (
+        streamed.raw_throughput == batched.raw_throughput
+        and streamed.violation_rate == batched.violation_rate
+    )
+    record(
+        f"Engine scale: {N_QUERIES} queries @ {QPS:.0f} QPS",
+        [],
+        volatile=[
+            fmt_row("reference", wall_s=t_reference,
+                    qps=N_QUERIES / t_reference),
+            fmt_row("batched", wall_s=t_batched, qps=N_QUERIES / t_batched,
+                    speedup=speedup),
+            fmt_row("streaming", wall_s=t_streaming,
+                    qps=N_QUERIES / t_streaming,
+                    speedup=t_reference / t_streaming),
+        ],
+        checks=[
+            (f"batched engine >= {SPEEDUP_FLOOR:.0f}x reference wall-clock "
+             "(pinned floor)", speedup >= SPEEDUP_FLOOR),
+            ("streaming counters == record-backed counters", counters_match),
+        ],
+    )
 
     assert speedup >= SPEEDUP_FLOOR
     # Streaming mode agrees with the record-backed run on exact counters.
-    assert streamed.raw_throughput == batched.raw_throughput
-    assert streamed.violation_rate == batched.violation_rate
+    assert counters_match

@@ -26,7 +26,8 @@ python -m pytest -q \
     benchmarks/test_serving_engine_scale.py \
     benchmarks/test_workload_generation.py \
     benchmarks/test_runtime_switching.py \
-    benchmarks/test_autoscaling.py
+    benchmarks/test_autoscaling.py \
+    benchmarks/test_cluster_cache.py
 
 echo "== docs link check =="
 python scripts/check_links.py

@@ -112,8 +112,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--router", default="round-robin",
-        choices=["round-robin", "least-loaded", "locality"],
-        help="cluster query router (--nodes > 1)",
+        choices=["round-robin", "least-loaded", "locality", "cache-affinity"],
+        help="cluster query router (--nodes > 1; cache-affinity requires "
+             "--cache-mb)",
     )
     serve.add_argument(
         "--replication", type=_positive_int, default=1,
@@ -131,6 +132,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--link", default="eth-100g", choices=["eth-25g", "eth-100g", "rdma-100g"],
         help="inter-node fabric pricing the embedding all-to-all",
+    )
+    serve.add_argument(
+        "--cache-mb", type=float, default=None, metavar="MB",
+        help="per-node MP-Cache tier budget in MB (cluster only: hot "
+             "embedding rows cached in front of the fabric)",
+    )
+    serve.add_argument(
+        "--cache-policy", default=None, choices=["lru", "static"],
+        help="cache residency policy: lru demand-fills on misses, static "
+             "preloads profiled hot rows (default lru; requires --cache-mb)",
     )
     serve.add_argument(
         "--autoscale", action="store_true",
@@ -225,6 +236,32 @@ def cmd_serve(args) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.cache_mb is not None or args.cache_policy is not None:
+            print(
+                "error: --cache-mb/--cache-policy build the cluster cache "
+                "tier (--nodes > 1); --switching is single-node",
+                file=sys.stderr,
+            )
+            return 2
+    if args.cache_mb is not None and args.cache_mb <= 0:
+        print(
+            f"error: --cache-mb must be positive, got {args.cache_mb:g}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cache_policy is not None and args.cache_mb is None:
+        print(
+            "error: --cache-policy requires --cache-mb (no cache to govern)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.router == "cache-affinity" and args.cache_mb is None:
+        print(
+            "error: --router cache-affinity scores nodes by cache "
+            "residency; give the tier a budget with --cache-mb",
+            file=sys.stderr,
+        )
+        return 2
     if not args.autoscale:
         autoscale_flags = [
             ("--min-nodes", args.min_nodes != 1),
@@ -311,6 +348,8 @@ def cmd_serve(args) -> int:
         ("--max-queue", args.max_queue > 0),
         ("--router", args.router != "round-robin"),
         ("--link", args.link != "eth-100g"),
+        ("--cache-mb", args.cache_mb is not None),
+        ("--cache-policy", args.cache_policy is not None),
     ]
     ignored = [flag for flag, used in cluster_flags if used]
     if ignored:
@@ -336,6 +375,30 @@ def cmd_serve(args) -> int:
     for label, share in result.switching_breakdown().items():
         print(f"  {label:16s} {share * 100:5.1f}%")
     return 0
+
+
+def _cache_kwargs(args) -> dict:
+    """Cluster cache-tier kwargs from the validated CLI flags."""
+    if args.cache_mb is None:
+        return {}
+    return {
+        "cache_bytes": int(args.cache_mb * 2**20),
+        "cache_policy": args.cache_policy or "lru",
+    }
+
+
+def _print_cache(cache) -> None:
+    """The cache tier's headline counters (one block, cluster modes)."""
+    if cache is None:
+        return
+    print(f"cache hit rate         : {cache.hit_rate * 100:.2f}% "
+          f"({cache.hits}/{cache.lookups} row lookups)")
+    print(f"cache fill bytes       : {cache.fill_bytes / 1e6:.2f} MB"
+          + (f" (+{cache.warm_bytes / 1e6:.2f} MB warmed)"
+             if cache.warm_bytes else ""))
+    if cache.rewarm_bytes:
+        print(f"cache re-warm          : {cache.rewarm_bytes / 1e6:.2f} MB "
+              f"in {cache.rewarm_s * 1e3:.2f} ms (switch invalidations)")
 
 
 def _serve_switching(args, config, scenario) -> int:
@@ -381,6 +444,7 @@ def _serve_autoscale(args, config, scenario, max_nodes) -> int:
         max_batch_size=args.max_batch,
         batch_timeout_s=args.batch_timeout_ms / 1e3,
         max_queue=args.max_queue, streaming=args.streaming,
+        **_cache_kwargs(args),
     )
     result = cluster.result
     print(f"elastic cluster        : {args.min_nodes}..{max_nodes} nodes, "
@@ -396,15 +460,23 @@ def _serve_autoscale(args, config, scenario, max_nodes) -> int:
     print(f"node-seconds           : {cluster.node_seconds:.3f}")
     print(f"handoff overhead       : {cluster.handoff_overhead_s * 1e3:.2f} ms")
     print(f"rerouted by drains     : {cluster.rerouted}")
+    _print_cache(cluster.cache)
     if cluster.edge_drops:
         print(f"edge drops             : {cluster.edge_drops}")
     for event in cluster.scale_events[:10]:
-        detail = (
-            f"warm {event.warm_bytes / 1e6:.1f} MB in "
-            f"{event.warm_s * 1e3:.2f} ms"
-            if event.kind == "up"
-            else f"re-injected {event.reinjected}"
-        )
+        if event.kind == "up":
+            detail = (
+                f"warm {event.warm_bytes / 1e6:.1f} MB in "
+                f"{event.warm_s * 1e3:.2f} ms"
+            )
+            if event.cache_warm_bytes:
+                detail += f" (+{event.cache_warm_bytes / 1e6:.1f} MB cache)"
+        else:
+            detail = f"re-injected {event.reinjected}"
+            if event.cache_donated_bytes:
+                detail += (
+                    f", donated {event.cache_donated_bytes / 1e6:.1f} MB cache"
+                )
         print(
             f"  t={event.time_s * 1e3:8.1f} ms  {event.kind:4s} node "
             f"{event.node_id} -> {event.n_members} members ({detail})"
@@ -424,6 +496,7 @@ def _serve_cluster(args, config, scenario) -> int:
         batch_timeout_s=args.batch_timeout_ms / 1e3,
         max_queue=args.max_queue, fail_at=args.fail_at,
         fail_node=args.fail_node, streaming=args.streaming,
+        **_cache_kwargs(args),
     )
     result = cluster.result
     print(f"cluster                : {args.nodes} nodes, {args.router} router, "
@@ -437,6 +510,7 @@ def _serve_cluster(args, config, scenario) -> int:
     print(f"p99 latency            : {result.p99_latency_s * 1e3:.2f} ms")
     served = ", ".join(str(n) for n in cluster.per_node_served)
     print(f"per-node served        : [{served}]")
+    _print_cache(cluster.cache)
     if cluster.failed_nodes:
         print(f"failed nodes           : {cluster.failed_nodes}")
         print(f"rerouted / lost        : {cluster.rerouted} / {cluster.lost}")

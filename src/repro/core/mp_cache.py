@@ -28,6 +28,40 @@ ENTRY_KEY_BYTES = 8
 FP32 = 4
 
 
+def row_entry_bytes(embedding_dim: int) -> int:
+    """Bytes one cached embedding row occupies: the vector plus its key.
+
+    Every cache in the repo — the single-node :class:`EncoderCache` and the
+    cluster tier's :class:`~repro.serving.cache.NodeCache` — sizes its
+    entry budget with this one formula, so a "cache of N megabytes" means
+    the same row count everywhere.
+    """
+    if embedding_dim < 1:
+        raise ValueError("embedding_dim must be positive")
+    return embedding_dim * FP32 + ENTRY_KEY_BYTES
+
+
+def zipf_popularity_cdf(n_rows: int, alpha: float = 1.05) -> np.ndarray:
+    """``cdf[k]`` = probability a Zipf(alpha) lookup lands in the ``k``
+    hottest rows of an ``n_rows`` universe (``cdf[0] == 0``).
+
+    This is the analytic hit curve both cache tiers price residency with:
+    a cache holding the top ``k`` rows of a power-law-traffic table serves
+    ``cdf[k]`` of its lookups locally.
+    """
+    if n_rows <= 0:
+        raise ValueError("n_rows must be positive")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    ranks = np.arange(1, n_rows + 1, dtype=np.float64)
+    weights = ranks**-alpha
+    cdf = np.empty(n_rows + 1, dtype=np.float64)
+    cdf[0] = 0.0
+    np.cumsum(weights / weights.sum(), out=cdf[1:])
+    cdf[-1] = 1.0
+    return cdf
+
+
 @dataclass(frozen=True)
 class CacheEffect:
     """What MP-Cache does to a DHE/hybrid path's latency model."""
@@ -63,7 +97,7 @@ class EncoderCache:
         self.embedding_dim = embedding_dim
         self.policy = policy
         self.n_features = n_features
-        self.entry_bytes = embedding_dim * FP32 + ENTRY_KEY_BYTES
+        self.entry_bytes = row_entry_bytes(embedding_dim)
         self.capacity_entries = capacity_bytes // self.entry_bytes
         self._resident: dict[int, set[int]] = {}
         self._lru: dict[int, OrderedDict[int, None]] = {}

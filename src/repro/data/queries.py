@@ -35,12 +35,20 @@ class Query:
 
     ``tenant`` tags the originating workload in multi-tenant scenarios
     (empty for single-tenant runs); per-tenant SLAs live on the scenario.
+
+    ``user`` identifies the requesting user for shard-group keying
+    (:meth:`~repro.serving.cluster.ShardMap.group_of`): real request
+    streams are user-skewed — a few heavy users dominate — which is what
+    makes some shard groups hot.  The default ``-1`` keys the group off
+    ``index`` instead (uniform across groups), preserving every pre-cache
+    scenario bit-for-bit.
     """
 
     index: int
     size: int
     arrival_s: float
     tenant: str = ""
+    user: int = -1
 
 
 @dataclass

@@ -301,15 +301,21 @@ def build_cluster(
     link: LinkSpec = ETHERNET_100G,
     devices: list[DeviceSpec] | None = None,
     with_cache: bool = True,
+    cache_bytes: int = 0,
+    cache_policy: str = "lru",
     **cluster_kwargs,
 ) -> ClusterSimulator:
     """Assemble a serving cluster: every node runs the named scheduler's
     paths on its own HW-1 replica, and the model's tables are greedy-LPT
     sharded (:func:`~repro.analysis.sharding.greedy_shard`) across nodes.
 
-    ``cluster_kwargs`` forward to :class:`~repro.serving.cluster.
-    ClusterSimulator` (``shed_policy``, ``max_batch_size``, ``max_queue``,
-    ``fail_at``, ``fail_node``, ``hot_fraction``, ...).
+    ``cache_bytes`` / ``cache_policy`` size the per-node MP-Cache tier
+    (:mod:`repro.serving.cache`; 0 = off) — ``with_cache`` is the older,
+    unrelated knob for the *single-node* analytic MP-Cache effect baked
+    into each path's latency model.  ``cluster_kwargs`` forward to
+    :class:`~repro.serving.cluster.ClusterSimulator` (``shed_policy``,
+    ``max_batch_size``, ``max_queue``, ``fail_at``, ``fail_node``,
+    ``hot_fraction``, ``cache_alpha``, ``cache_hot_rows``, ...).
     """
     schedulers = build_schedulers(model, devices, with_cache=with_cache)
     if scheduler not in schedulers:
@@ -319,7 +325,8 @@ def build_cluster(
     plan = greedy_shard(model.cardinalities, model.embedding_dim, n_nodes)
     return ClusterSimulator(
         schedulers[scheduler], plan, router=router, replication=replication,
-        link=link, **cluster_kwargs,
+        link=link, cache_bytes=cache_bytes, cache_policy=cache_policy,
+        **cluster_kwargs,
     )
 
 
@@ -368,9 +375,11 @@ def build_autoscaled_cluster(
     signals say — joins warm their shard slice over ``link``, drains
     hand queued queries back through the failover path (zero-loss).
 
-    ``cluster_kwargs`` forward to :class:`~repro.serving.cluster.
-    ClusterSimulator` (``shed_policy``, ``max_batch_size``,
-    ``batch_timeout_s``, ``max_queue``, ``hot_fraction``, ...).
+    ``cluster_kwargs`` forward through :func:`build_cluster`
+    (``shed_policy``, ``max_batch_size``, ``batch_timeout_s``,
+    ``max_queue``, ``hot_fraction``, ``cache_bytes``, ``cache_policy``,
+    ...) — with the cache tier on, joins warm their cache alongside the
+    shard slice and drains donate their hot set.
     """
     controller = AutoscaleController(
         min_nodes=min_nodes,

@@ -21,6 +21,11 @@ and the knobs they share:
 - The cluster additionally accepts an :class:`~repro.serving.autoscale.
   AutoscaleController` for elastic fleets: membership grows and shrinks
   mid-run with live shard handoff (docs/autoscaling.md).
+- ``cache_bytes > 0`` turns on the cluster MP-Cache tier: every node
+  runs a :class:`~repro.serving.cache.NodeCache` of hot embedding rows
+  in front of the fabric, with hit/miss/fill accounting merged into
+  :attr:`ClusterResult.cache` and a ``"cache-affinity"`` router that
+  scores nodes by shard locality x cache residency (docs/caching.md).
 - Both report through either exact record-backed :class:`ServingResult`
   (``run``) or constant-memory :class:`StreamingMetrics`
   (``run_streaming``); the two share one metric vocabulary.
@@ -34,6 +39,7 @@ from repro.serving.autoscale import (
     ScaleEvent,
     shard_slice_bytes,
 )
+from repro.serving.cache import CacheConfig, NodeCache
 from repro.serving.cluster import (
     ClusterNode,
     ClusterResult,
@@ -50,6 +56,7 @@ from repro.serving.engine import (
     run_kernel,
 )
 from repro.serving.metrics import (
+    CacheStats,
     P2Quantile,
     QueryRecord,
     ReservoirSampler,
@@ -64,6 +71,7 @@ from repro.serving.policies import (
     make_policy,
 )
 from repro.serving.routing import (
+    CacheAffinityRouter,
     LeastLoadedRouter,
     Router,
     RoundRobinRouter,
@@ -76,6 +84,9 @@ from repro.serving.workload import ServingScenario, TenantSpec
 __all__ = [
     "AutoscaleController",
     "Batcher",
+    "CacheAffinityRouter",
+    "CacheConfig",
+    "CacheStats",
     "ClusterNode",
     "ClusterResult",
     "ClusterSimulator",
@@ -86,6 +97,7 @@ __all__ = [
     "EventLoop",
     "LeastLoadedRouter",
     "NoShed",
+    "NodeCache",
     "P2Quantile",
     "QueryRecord",
     "RecordSink",

@@ -21,6 +21,12 @@ Scale operations are priced, never free:
   every one of the joining node's devices — the same mechanism that
   prices the Fig-15 representation-switch window.  The node joins the
   routable set only when the warm completes.
+  When the cluster runs the MP-Cache tier (:mod:`repro.serving.cache`),
+  the join's cache warm — the hottest rows of the shard groups it will
+  serve *remotely* (its shard slice already covers the owned ones) —
+  streams inside the same charged window
+  (``ScaleEvent.cache_warm_bytes``), so the node is not just routable
+  but *warm* when it starts serving.
 - **Scale-down (live shard handoff out)** — the draining node stops
   admitting, hands its queued-but-undispatched queries back through the
   cluster's existing failover re-injection path (they re-enter the event
@@ -29,6 +35,9 @@ Scale operations are priced, never free:
   displaced, so — unlike a node *failure* — scale-down wastes zero
   energy and loses zero queries: the **zero-loss drain invariant**,
   property-tested in ``tests/property/test_prop_engine_parity.py``.
+  Under the cache tier the drain also donates its hot set to the
+  surviving replicas (``ScaleEvent.cache_donated_bytes``), so the rows
+  the fleet worked to cache outlive the node that cached them.
 
 Membership is always a prefix ``{0..k-1}`` of the node ids (joins take
 the lowest inactive id, drains retire the highest active id), and every
@@ -98,6 +107,11 @@ class ScaleEvent:
     warm_bytes: int = 0  # shard slice streamed to a joining node
     warm_s: float = 0.0  # its fabric transfer window (charged as a block)
     reinjected: int = 0  # queries a draining node handed back
+    # Hot rows streamed alongside the shard slice so the join starts warm
+    # (cluster cache tier only; included in warm_s's charged window).
+    cache_warm_bytes: int = 0
+    # Hot-set bytes a drain donated to the surviving replicas' caches.
+    cache_donated_bytes: int = 0
 
 
 @dataclass

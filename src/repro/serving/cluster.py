@@ -47,6 +47,22 @@ Backpressure: ``max_queue`` bounds each node's outstanding queries
 router; if every node is full the query is shed at the cluster edge and
 recorded as dropped.
 
+The cache tier: pass ``cache_bytes > 0`` and every node runs a
+:class:`~repro.serving.cache.NodeCache` in front of the fabric — the hot
+(user-partitioned) rows a node keeps serving for groups it does *not*
+own stay resident, so repeat traffic stops paying the cold all-to-all
+price.  Per batch the cache splits the non-owned hot gathers into hits
+(a DRAM read, charged on the batch's service time) and misses (fill
+bytes that ride the all-to-all exchange and, under the LRU policy, grow
+residency).  A representation switch invalidates the outgoing path's
+entries and re-warms them for the incoming path inside a Fig-15-style
+:meth:`~repro.serving.devices.DeviceTimeline.block`; an autoscale join
+streams its cache warm alongside its shard slice (both inside the
+charged warm window) and a drain donates its hot set to the surviving
+replicas.  The ``"cache-affinity"`` router exploits the tier: it scores
+candidates by shard locality x cache residency instead of ownership
+alone.  See :mod:`repro.serving.cache` and docs/caching.md.
+
 Elasticity: pass an :class:`~repro.serving.autoscale.AutoscaleController`
 and the fleet grows and shrinks mid-run.  Membership is a prefix of the
 node ids; every change re-shards the tables onto the new member count and
@@ -77,6 +93,7 @@ from repro.hardware.topology import (
     alltoall_exchange_time,
 )
 from repro.serving.autoscale import AutoscaleController, ScaleEvent, shard_slice_bytes
+from repro.serving.cache import CacheConfig, NodeCache
 from repro.serving.engine import (
     ARRIVAL,
     CONTROL,
@@ -86,7 +103,7 @@ from repro.serving.engine import (
     drop_query,
     run_kernel,
 )
-from repro.serving.metrics import ServingResult, StreamingMetrics
+from repro.serving.metrics import CacheStats, ServingResult, StreamingMetrics
 from repro.serving.policies import ShedPolicy, make_policy
 from repro.serving.routing import Router, make_router
 from repro.serving.workload import ServingScenario
@@ -157,16 +174,26 @@ class ShardMap:
         )
 
     def group_of(self, query: Query) -> int:
-        """The shard group holding this query's user-partitioned rows."""
-        return ((query.index * _KNUTH) & 0xFFFFFFFF) % self.n_nodes
+        """The shard group holding this query's user-partitioned rows.
+
+        Keyed by ``query.user`` when the scenario models user identity
+        (heavy users make their group hot), else by ``query.index``
+        (uniform across groups, the pre-cache behavior)."""
+        key = query.user if query.user >= 0 else query.index
+        return ((key * _KNUTH) & 0xFFFFFFFF) % self.n_nodes
 
     def remote_bytes_per_sample(self, node_id: int, group: int) -> float:
         """Embedding bytes one sample pulls over the fabric when served
         on ``node_id`` with its hot rows in ``group``."""
         hot = self.hot_fraction * self.bytes_per_sample
-        cold = self.bytes_per_sample - hot
         hot_remote = 0.0 if node_id in self.owners[group] else hot
-        return hot_remote + cold * (1.0 - self.cold_local_share[node_id])
+        return hot_remote + self.cold_remote_bytes_per_sample(node_id)
+
+    def cold_remote_bytes_per_sample(self, node_id: int) -> float:
+        """The cold (item-side) share of one sample's fabric pull — the
+        component the cache tier cannot shrink (it caches hot rows)."""
+        cold = (1.0 - self.hot_fraction) * self.bytes_per_sample
+        return cold * (1.0 - self.cold_local_share[node_id])
 
     def coverage_ok(self, alive: set[int]) -> bool:
         """True while every shard group keeps at least one alive replica."""
@@ -196,6 +223,8 @@ class ClusterResult:
     scale_downs: int = 0  # autoscaling drains completed
     handoff_overhead_s: float = 0.0  # device time blocked by shard warms
     scale_events: list[ScaleEvent] = field(default_factory=list)
+    # Fleet-merged MP-Cache tier accounting (None when the tier is off).
+    cache: CacheStats | None = None
 
     @property
     def fleet_energy_j(self) -> float:
@@ -227,6 +256,8 @@ class ClusterResult:
                 scale_downs=self.scale_downs,
                 handoff_overhead_s=self.handoff_overhead_s,
             )
+        if self.cache is not None:
+            merged.update(self.cache.summary())
         return merged
 
 
@@ -260,6 +291,15 @@ class ClusterSimulator:
     the new member count.  Elasticity and failure injection are mutually
     exclusive — a failure breaks the membership-prefix invariant the
     epoch shard maps index by.
+
+    ``cache_bytes`` / ``cache_policy`` / ``cache_alpha`` /
+    ``cache_hot_rows``: the per-node MP-Cache tier.  ``cache_bytes > 0``
+    gives every node a :class:`~repro.serving.cache.NodeCache` of that
+    byte budget (``"lru"`` demand-fill or ``"static"`` preloaded
+    residency); ``cache_hot_rows`` sizes the fleet-wide hot-row universe
+    the per-group popularity curves are cut from (default: the plan's
+    total rows scaled by ``hot_fraction``).  The ``"cache-affinity"``
+    router requires the tier to be on.
     """
 
     def __init__(
@@ -279,6 +319,10 @@ class ClusterSimulator:
         track_energy: bool = True,
         switch_controller=None,
         autoscale: AutoscaleController | None = None,
+        cache_bytes: int = 0,
+        cache_policy: str = "lru",
+        cache_alpha: float = 1.05,
+        cache_hot_rows: int | None = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -314,8 +358,41 @@ class ClusterSimulator:
                     f"replication {replication} exceeds autoscale.min_nodes "
                     f"{autoscale.min_nodes}; every epoch must fit its chains"
                 )
+        if cache_bytes < 0:
+            raise ValueError("cache_bytes must be non-negative")
+        if router == "cache-affinity" and cache_bytes == 0:
+            raise ValueError(
+                "cache-affinity routing scores nodes by cache residency; "
+                "enable the cache tier (cache_bytes > 0)"
+            )
         self.plan = plan
         self.shard_map = ShardMap.from_plan(plan, replication, hot_fraction)
+        self.cache_config = (
+            CacheConfig(
+                capacity_bytes=cache_bytes,
+                embedding_dim=plan.dim,
+                alpha=cache_alpha,
+                policy=cache_policy,
+            )
+            if cache_bytes
+            else None
+        )
+        if cache_hot_rows is not None and cache_hot_rows < 1:
+            raise ValueError("cache_hot_rows must be positive")
+        # The fleet-wide hot-row universe: the user-partitioned share of
+        # the plan's rows.  Each k-member epoch cuts it into k per-group
+        # popularity curves.
+        self._cache_hot_total = (
+            cache_hot_rows
+            if cache_hot_rows is not None
+            else max(1, int(hot_fraction * sum(plan.cardinalities())))
+        )
+        # A sample's hot gather in rows (the unit the cache counts in):
+        # its user-side features, one row each.  Floored to 1 whenever a
+        # hot fraction exists at all — rounding to 0 would silently make
+        # every hot byte free under the cached model.
+        n_hot = hot_fraction * len(plan.assignment)
+        self._hot_rows_per_sample = max(1, round(n_hot)) if n_hot > 0 else 0
         self._router_spec = router
         self.schedulers = schedulers
         self.link = link
@@ -347,13 +424,36 @@ class ClusterSimulator:
 
     # ---- kernel façade ---------------------------------------------------
 
+    def _hot_rows_per_group(self, k: int) -> int:
+        """The per-group hot-row universe of a ``k``-member epoch."""
+        return max(1, self._cache_hot_total // k)
+
+    def _build_cache(self, k: int) -> NodeCache:
+        """A fresh node cache keyed to a ``k``-member epoch's groups."""
+        return self.cache_config.build(k, self._hot_rows_per_group(k))
+
     def _make_cores(self, state: "_RunState", on_dispatch=None) -> list[EngineCore]:
         # The exchange hook closes over this run's state (membership and
         # the current epoch's shard map) — per-run state stays in the
         # run, keeping the simulator reentrant.
-        def exchange(core, batch):
-            return self._exchange_s(core, batch, state)
+        def exchange(core, batch, path):
+            return self._exchange_s(core, batch, path, state)
 
+        commit = None
+        on_switch = None
+        if self.cache_config is not None:
+            def commit(core, batch, path):
+                self._cache_batch(core, batch, path, state, commit=True)
+
+            if self.switch_controller is not None:
+                def on_switch(core, device, now):
+                    self._rewarm_after_switch(core, device, now)
+
+        k_groups = (
+            self.autoscale.initial_nodes
+            if self.autoscale is not None
+            else self.plan.n_nodes
+        )
         cores = []
         for node_id, sched in enumerate(self.schedulers):
             switcher = None
@@ -363,6 +463,21 @@ class ClusterSimulator:
                 switcher = self.switch_controller.clone()
                 sched = copy.copy(sched)
                 sched.paths = list(sched.paths)
+            cache = None
+            if self.cache_config is not None:
+                cache = self._build_cache(k_groups)
+                if self.cache_config.policy == "static" and node_id < k_groups:
+                    # Profiled residency, provisioned offline like the
+                    # single-node EncoderCache.fit_static: resident paths
+                    # preload in order until the byte budget is spent.
+                    # Only the groups the node does NOT own — owned
+                    # groups are shard-local and never consult the cache
+                    # — and only initially-active members (autoscale
+                    # spares warm at join time, charged).
+                    initial_map = self._epoch(k_groups)[1]
+                    groups = _cached_groups(node_id, initial_map)
+                    for path in sched.paths:
+                        cache.warm(path.label, groups)
             cores.append(
                 EngineCore(
                     sched,
@@ -374,8 +489,11 @@ class ClusterSimulator:
                     track_energy=self.track_energy,
                     defer_commit=True,
                     service_extra=exchange,
+                    service_commit=commit,
                     switcher=switcher,
                     on_dispatch=on_dispatch,
+                    on_switch=on_switch,
+                    cache=cache,
                 )
             )
         return cores
@@ -405,7 +523,9 @@ class ClusterSimulator:
         controller = self.autoscale.clone() if self.autoscale else None
         k0 = controller.initial_nodes if controller else n_total
         state = _RunState(self._epoch(k0)[1], list(range(k0)))
-        router = make_router(self._router_spec, shard_map=state.shard_map)
+        router = make_router(
+            self._router_spec, shard_map=state.shard_map, link=self.link
+        )
         router.reset()
         cluster = ClusterResult(
             result=sink.result,
@@ -455,7 +575,19 @@ class ClusterSimulator:
             warm_bytes = shard_slice_bytes(
                 next_plan, node, self.shard_map.replication
             )
-            warm_s = self.link.transfer_time(warm_bytes)
+            join_cache = None
+            cache_warm_bytes = 0
+            if self.cache_config is not None:
+                # The join's cache warms alongside its shard slice: the
+                # hottest rows of the groups it will serve *remotely*
+                # (its shard slice already covers the owned ones) stream
+                # inside the same charged window, so the node starts warm.
+                join_cache = self._build_cache(node + 1)
+                cache_warm_bytes = join_cache.warm(
+                    cores[node].scheduler.paths[0].label,
+                    _cached_groups(node, next_map),
+                )
+            warm_s = self.link.transfer_time(warm_bytes + cache_warm_bytes)
             core = cores[node]
             ready = now
             for device in core.timeline.free_at:
@@ -463,8 +595,19 @@ class ClusterSimulator:
             pending_join = {
                 "node": node, "map": next_map, "warm_bytes": warm_bytes,
                 "warm_s": warm_s, "decided_s": now, "ready_s": ready,
+                "cache": join_cache, "cache_warm_bytes": cache_warm_bytes,
             }
             loop.push(ready, CONTROL, ("join", node))
+
+        def rekey_caches(k):
+            # A new epoch re-sharded the tables: every member's cache is
+            # keyed by a group space that no longer exists.
+            if self.cache_config is None:
+                return
+            hot_rows = self._hot_rows_per_group(k)
+            for member in state.active:
+                if member.cache is not None:
+                    member.cache.rekey(k, hot_rows)
 
         def finish_scale_up(now):
             nonlocal pending_join
@@ -473,6 +616,12 @@ class ClusterSimulator:
             core = cores[node]
             core.revive()
             state.members.append(node)
+            rekey_caches(len(state.members))
+            if join["cache"] is not None:
+                # Install the warmed cache; counters the node accumulated
+                # in an earlier membership stint carry over.
+                join["cache"].stats.merge(core.cache.stats)
+                core.cache = join["cache"]
             state.active.append(core)
             state.shard_map = join["map"]
             router.update_shard_map(state.shard_map)
@@ -483,6 +632,7 @@ class ClusterSimulator:
                 time_s=join["decided_s"], ready_s=now, kind="up",
                 node_id=node, n_members=len(state.members),
                 warm_bytes=join["warm_bytes"], warm_s=join["warm_s"],
+                cache_warm_bytes=join["cache_warm_bytes"],
             )
             cluster.scale_events.append(event)
             controller.on_scale_complete(now, event)
@@ -493,6 +643,20 @@ class ClusterSimulator:
             state.active.remove(core)
             state.shard_map = self._epoch(len(state.members))[1]
             router.update_shard_map(state.shard_map)
+            donated_bytes = 0
+            if core.cache is not None:
+                # The drain donates its hot set: survivors absorb an even
+                # share into the groups they serve remotely under the new
+                # epoch (owned groups never consult the cache), so the
+                # rows the fleet worked to cache outlive the node.
+                rekey_caches(len(state.members))
+                donated = core.cache.donate()
+                share = donated // max(1, len(state.active))
+                for survivor in state.active:
+                    donated_bytes += survivor.cache.receive(
+                        survivor.scheduler.paths[0].label, share,
+                        _cached_groups(survivor.node_id, state.shard_map),
+                    )
             handed_back = core.drain()
             for query in handed_back:
                 reinjected.add(query.index)
@@ -508,6 +672,7 @@ class ClusterSimulator:
             event = ScaleEvent(
                 time_s=now, ready_s=now, kind="down", node_id=node,
                 n_members=len(state.members), reinjected=len(handed_back),
+                cache_donated_bytes=donated_bytes,
             )
             cluster.scale_events.append(event)
             controller.on_scale_complete(now, event)
@@ -592,40 +757,139 @@ class ClusterSimulator:
         for node, seconds in active_seconds.items():
             cluster.node_seconds += seconds
             cluster.idle_energy_j += seconds * _node_idle_w(cores[node])
+        if self.cache_config is not None:
+            cluster.cache = CacheStats()
         for core in cores:
             cluster.per_node_served[core.node_id] = core.served
             cluster.per_node_dropped[core.node_id] = core.shed
             if core.switcher is not None:
                 cluster.switches += len(core.switcher.events)
                 cluster.switch_overhead_s += core.switcher.total_overhead_s
+            if cluster.cache is not None and core.cache is not None:
+                cluster.cache.merge(core.cache.stats)
         return cluster
 
     # ---- helpers ---------------------------------------------------------
 
-    def _exchange_s(self, core: EngineCore, batch, state: "_RunState") -> float:
-        """Per-batch all-to-all embedding exchange on the cluster fabric."""
+    def _exchange_s(
+        self, core: EngineCore, batch, path, state: "_RunState"
+    ) -> float:
+        """Per-batch all-to-all embedding exchange on the cluster fabric.
+
+        With the cache tier on, the batch's non-owned hot gathers split
+        into cache hits (a local DRAM read on the routed path's device)
+        and misses (fill bytes that ride the all-to-all); this call is
+        pure — the split is committed once per dispatched batch by
+        :meth:`_cache_batch`."""
         shard_map = state.shard_map
-        remote = sum(
-            q.size
-            * shard_map.remote_bytes_per_sample(
-                core.node_id, shard_map.group_of(q)
+        if core.cache is None:
+            remote = sum(
+                q.size
+                * shard_map.remote_bytes_per_sample(
+                    core.node_id, shard_map.group_of(q)
+                )
+                for q in batch
             )
-            for q in batch
+            return alltoall_exchange_time(remote, len(state.active), self.link)
+        remote, hit_bytes = self._cache_batch(
+            core, batch, path, state, commit=False
         )
-        return alltoall_exchange_time(remote, len(state.active), self.link)
+        return (
+            alltoall_exchange_time(remote, len(state.active), self.link)
+            + hit_bytes / path.device.dram_bandwidth
+        )
+
+    def _cache_batch(
+        self, core: EngineCore, batch, path, state: "_RunState", commit: bool
+    ) -> tuple[float, int]:
+        """One batch through the node cache: ``(remote_bytes, hit_bytes)``.
+
+        ``commit=False`` previews the carry-exact hit/miss splits for
+        pricing (sequentially, each lookup seeing the residency growth
+        of the ones before it) and stashes them per core;
+        ``commit=True`` — called by the engine exactly once per
+        dispatched batch — applies the stashed splits verbatim, so the
+        recorded counters always equal the priced ones and shed-policy
+        re-pricing can never double-count a fill."""
+        shard_map = state.shard_map
+        cache = core.cache
+        row_bytes = self.cache_config.row_bytes
+        cold = shard_map.cold_remote_bytes_per_sample(core.node_id)
+        remote = 0.0
+        items = []
+        batch_key = tuple(q.index for q in batch)
+        for q in batch:
+            remote += q.size * cold
+            group = shard_map.group_of(q)
+            if core.node_id in shard_map.owners[group]:
+                continue  # hot rows are shard-local; the cache sits idle
+            items.append((path.label, group, q.size * self._hot_rows_per_sample))
+        pending = state.pending_cache.get(core.node_id)
+        if pending is not None and pending[0] == batch_key:
+            _, splits, overlay = pending
+        else:
+            splits, overlay = cache.preview_batch(items)
+        hits = sum(h for h, _ in splits)
+        misses = sum(m for _, m in splits)
+        remote += misses * row_bytes
+        hit_bytes = hits * row_bytes
+        if commit:
+            state.pending_cache.pop(core.node_id, None)
+            cache.commit_batch(items, splits, overlay)
+            if hit_bytes:
+                cache.stats.hit_s += hit_bytes / path.device.dram_bandwidth
+        else:
+            state.pending_cache[core.node_id] = (batch_key, splits, overlay)
+        return remote, hit_bytes
+
+    def _rewarm_after_switch(
+        self, core: EngineCore, device: str, now: float
+    ) -> None:
+        """A representation switch completed on ``device``: the outgoing
+        path's cached rows are stale.  Drop them, re-fetch the same hot
+        set for the incoming path over the fabric, and charge the window
+        as a device block — priced exactly like the Fig-15 switch window
+        it extends."""
+        cache = core.cache
+        if cache is None:
+            return
+        event = next(
+            (e for e in reversed(core.switcher.events) if e.device == device),
+            None,
+        )
+        if event is None:
+            return
+        rewarm_bytes = cache.rewarm(event.from_label, event.to_label)
+        if rewarm_bytes:
+            rewarm_s = self.link.transfer_time(rewarm_bytes)
+            cache.stats.rewarm_s += rewarm_s
+            core.timeline.block(device, now, rewarm_s)
 
 
 class _RunState:
     """Mutable per-run cluster state the kernel hooks close over: the
-    current epoch's shard map, the member ids (always a prefix), and the
-    routable cores."""
+    current epoch's shard map, the member ids (always a prefix), the
+    routable cores, and each core's most recent previewed cache splits
+    (pending until the dispatch commits them)."""
 
-    __slots__ = ("shard_map", "members", "active")
+    __slots__ = ("shard_map", "members", "active", "pending_cache")
 
     def __init__(self, shard_map: ShardMap, members: list[int]) -> None:
         self.shard_map = shard_map
         self.members = members
         self.active: list[EngineCore] = []
+        self.pending_cache: dict[int, tuple] = {}
+
+
+def _cached_groups(node_id: int, shard_map: ShardMap) -> list[int]:
+    """The shard groups ``node_id`` serves *through its cache*: the ones
+    it does not own (owned groups are shard-local and bypass the tier).
+    This is what join warms, drain donations, and static preloads
+    target."""
+    return [
+        g for g in range(shard_map.n_nodes)
+        if node_id not in shard_map.owners[g]
+    ]
 
 
 def _node_idle_w(core: EngineCore) -> float:

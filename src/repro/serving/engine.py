@@ -274,11 +274,21 @@ class _InFlight:
 class EngineCore:
     """One node's serving kernel: batcher + device timeline + shed policy.
 
-    ``service_extra(core, batch)`` prices per-batch service cost the node
-    cannot see locally (the cluster's fabric exchange); ``defer_commit``
-    moves outcome commit from dispatch to the finish event so a failure
-    can invalidate in-flight batches; ``switcher`` is an optional
-    :class:`~repro.core.switching.SwitchController` observing dispatches;
+    ``service_extra(core, batch, path)`` prices per-batch service cost
+    the node cannot see locally (the cluster's fabric exchange and cache
+    hit/miss split for the routed ``path``) — it must be **pure**: the
+    shed policy may trigger a second call to re-price the surviving
+    subset.  ``service_commit(core, batch, path)`` is its effectful
+    sibling, called exactly once per dispatched non-empty batch, where
+    stateful per-batch accounting (the cluster's cache fills) belongs.
+    ``defer_commit`` moves outcome commit from dispatch to the finish
+    event so a failure can invalidate in-flight batches; ``switcher`` is
+    an optional :class:`~repro.core.switching.SwitchController` observing
+    dispatches, and ``on_switch(core, device, now)`` fires after a switch
+    window completes (the cluster invalidates and re-warms the node's
+    cache there); ``cache`` is an optional per-node
+    :class:`~repro.serving.cache.NodeCache` — the kernel only carries it
+    so routers and cluster hooks can reach it through the core.
     ``on_dispatch(core, path, wait_s, queue_s, batch_size, batch_queries,
     now, loop)`` is a generic dispatch observer (the cluster feeds it to
     the :class:`~repro.serving.autoscale.AutoscaleController` as its
@@ -293,9 +303,9 @@ class EngineCore:
 
     __slots__ = (
         "node_id", "scheduler", "policy", "batcher", "timeline", "max_queue",
-        "track_energy", "defer_commit", "service_extra", "switcher",
-        "on_dispatch", "alive", "in_flight", "inflight_queries", "served",
-        "shed",
+        "track_energy", "defer_commit", "service_extra", "service_commit",
+        "switcher", "on_dispatch", "on_switch", "cache", "alive", "in_flight",
+        "inflight_queries", "served", "shed",
     )
 
     def __init__(
@@ -310,8 +320,11 @@ class EngineCore:
         track_energy: bool = True,
         defer_commit: bool = False,
         service_extra=None,
+        service_commit=None,
         switcher=None,
         on_dispatch=None,
+        on_switch=None,
+        cache=None,
     ) -> None:
         if max_queue < 0:
             raise ValueError("max_queue must be non-negative")
@@ -324,8 +337,11 @@ class EngineCore:
         self.track_energy = track_energy
         self.defer_commit = defer_commit
         self.service_extra = service_extra
+        self.service_commit = service_commit
         self.switcher = switcher
         self.on_dispatch = on_dispatch
+        self.on_switch = on_switch
+        self.cache = cache
         self.alive = True
         self.in_flight: dict[int, _InFlight] = {}
         self.inflight_queries = 0  # admission queue + dispatched, unfinished
@@ -388,6 +404,8 @@ class EngineCore:
         """A representation switch's blocking window elapsed."""
         if self.switcher is not None:
             self.switcher.complete(self, device, now)
+        if self.on_switch is not None:
+            self.on_switch(self, device, now)
 
     # ---- dispatch (the one copy) ----------------------------------------
 
@@ -404,7 +422,7 @@ class EngineCore:
         projected_start = max(now, free)
         extra_s = 0.0
         if self.service_extra is not None:
-            extra_s = self.service_extra(self, batch)
+            extra_s = self.service_extra(self, batch, path)
 
         def on_shed(query, sla_q):
             drop_query(sink, query, sla_q)
@@ -440,11 +458,16 @@ class EngineCore:
             admitted_size = sum(q.size for q in admitted)
             compute_s = path.latency(admitted_size)
             if self.service_extra is not None:
-                extra_s = self.service_extra(self, admitted)
+                extra_s = self.service_extra(self, admitted, path)
         start = projected_start
         finish = start + compute_s + extra_s
         self.timeline.commit(device, server, finish)
         self.scheduler.on_batch_dispatched(path, admitted_size, start, finish)
+        if self.service_commit is not None:
+            # The effectful twin of service_extra: stateful per-batch
+            # accounting (cache fills) happens exactly once, on the final
+            # admitted set, no matter how many times pricing re-ran.
+            self.service_commit(self, admitted, path)
 
         batch_energy = 0.0
         if self.track_energy:

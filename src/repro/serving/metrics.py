@@ -31,6 +31,66 @@ from dataclasses import dataclass, field
 import numpy as np
 
 
+@dataclass
+class CacheStats:
+    """Hit/miss/fill accounting for one cache (or a merged fleet view).
+
+    The cluster's MP-Cache tier (:mod:`repro.serving.cache`) counts row
+    lookups, not queries: every hot-row gather a node cannot serve from
+    shard-local memory either **hits** its cache (a DRAM read, priced in
+    ``hit_s``) or **misses** and fills over the cluster fabric
+    (``fill_bytes``).  The identities every run must satisfy — pinned in
+    the cache benchmark — are ``hits + misses == lookups`` and
+    ``fill_bytes == misses * row_bytes``; warm, re-warm, and donation
+    traffic is tallied separately so every byte that moved is visible.
+    """
+
+    lookups: int = 0  # hot-row gathers offered to the cache
+    hits: int = 0
+    misses: int = 0
+    hit_bytes: int = 0  # payload served from cache (DRAM reads)
+    fill_bytes: int = 0  # demand fills pulled over the fabric on misses
+    warm_bytes: int = 0  # provisioning fills (static preload, join warm)
+    rewarm_bytes: int = 0  # re-fetches after a representation switch
+    donated_bytes: int = 0  # hot-set bytes received from a draining peer
+    invalidated_entries: int = 0  # entries dropped by switch/re-key/eviction
+    invalidations: int = 0  # invalidation events (switches + re-keys)
+    hit_s: float = 0.0  # device time charged for cache reads
+    rewarm_s: float = 0.0  # device time blocked by post-switch re-warms
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of offered lookups served from cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another cache's counters into this one (fleet roll-up)."""
+        self.lookups += other.lookups
+        self.hits += other.hits
+        self.misses += other.misses
+        self.hit_bytes += other.hit_bytes
+        self.fill_bytes += other.fill_bytes
+        self.warm_bytes += other.warm_bytes
+        self.rewarm_bytes += other.rewarm_bytes
+        self.donated_bytes += other.donated_bytes
+        self.invalidated_entries += other.invalidated_entries
+        self.invalidations += other.invalidations
+        self.hit_s += other.hit_s
+        self.rewarm_s += other.rewarm_s
+
+    def summary(self) -> dict[str, float]:
+        """The cache metric vocabulary as one printable dict."""
+        return {
+            "cache_lookups": self.lookups,
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_hit_rate": self.hit_rate,
+            "cache_fill_bytes": self.fill_bytes,
+            "cache_warm_bytes": self.warm_bytes,
+            "cache_rewarm_bytes": self.rewarm_bytes,
+        }
+
+
 @dataclass(frozen=True)
 class QueryRecord:
     """One served query's outcome."""

@@ -20,6 +20,19 @@ cluster runs are reproducible and the tie-breaking is testable.
     least-loaded owner; fall back to least-loaded overall when no owner
     is available.  Requires the cluster's :class:`~repro.serving.cluster.
     ShardMap`.
+``"cache-affinity"``
+    Cache-aware cost routing for clusters running the MP-Cache tier
+    (:mod:`repro.serving.cache`): score every candidate by its expected
+    cost for *this* query — device queue delay plus the fabric time of
+    the hot bytes the node would actually miss, ``(1 - affinity) x hot
+    bytes / link bandwidth``, where affinity is shard locality (1.0 for
+    an owner) or the node's cache residency for the query's group.  At a
+    quiet fleet this reduces to locality routing (owners win at zero
+    penalty); under a skewed hot spot it spills to the cache-warmest
+    non-owners instead of piling onto the group's few owners — the
+    behavior pinned in ``benchmarks/test_cluster_cache.py``.  Requires
+    the cluster's :class:`~repro.serving.cluster.ShardMap` and
+    :class:`~repro.hardware.topology.LinkSpec`.
 """
 
 from __future__ import annotations
@@ -28,9 +41,10 @@ from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports us)
     from repro.data.queries import Query
+    from repro.hardware.topology import LinkSpec
     from repro.serving.cluster import ClusterNode, ShardMap
 
-ROUTER_NAMES = ("round-robin", "least-loaded", "locality")
+ROUTER_NAMES = ("round-robin", "least-loaded", "locality", "cache-affinity")
 
 
 class Router:
@@ -129,7 +143,63 @@ class ShardLocalityRouter(Router):
         return min(owners or candidates, key=lambda n: _load_key(n, now))
 
 
-def make_router(router: str | Router, shard_map: "ShardMap" = None) -> Router:
+class CacheAffinityRouter(Router):
+    """Route by expected per-query cost: queue delay + missed hot bytes.
+
+    The miss penalty prices what routing *away* from affinity costs: the
+    query's hot embedding bytes, scaled by how much of them the node
+    would actually pull over the fabric (``1 - affinity``), at the link's
+    bandwidth.  An owner's affinity is 1.0 (the shard is local); a
+    non-owner's is its cache residency for the group
+    (:meth:`~repro.serving.cache.NodeCache.affinity`).  Ties break by
+    in-flight load, then lowest node id, as everywhere else.
+    """
+
+    name = "cache-affinity"
+
+    def __init__(self, shard_map: "ShardMap", link: "LinkSpec") -> None:
+        self.shard_map = shard_map
+        self.link = link
+
+    def update_shard_map(self, shard_map: "ShardMap") -> None:
+        """Re-key ownership (and the hot-byte model) on the new epoch."""
+        self.shard_map = shard_map
+
+    def _affinity(self, node: "ClusterNode", group: int) -> float:
+        if node.node_id in self.shard_map.owners[group]:
+            return 1.0
+        if node.cache is None:
+            return 0.0
+        return node.cache.affinity(group)
+
+    def select_node(
+        self, query: "Query", now: float, candidates: Sequence["ClusterNode"]
+    ) -> "ClusterNode":
+        """The candidate with the lowest expected cost for this query."""
+        group = self.shard_map.group_of(query)
+        hot_bytes = (
+            query.size * self.shard_map.hot_fraction
+            * self.shard_map.bytes_per_sample
+        )
+
+        def cost(node: "ClusterNode") -> tuple:
+            miss_s = (1.0 - self._affinity(node, group)) * (
+                hot_bytes / self.link.bandwidth
+            )
+            return (
+                node.earliest_free_delay(now) + miss_s,
+                node.inflight_queries,
+                node.node_id,
+            )
+
+        return min(candidates, key=cost)
+
+
+def make_router(
+    router: str | Router,
+    shard_map: "ShardMap" = None,
+    link: "LinkSpec" = None,
+) -> Router:
     """Resolve a router name (or pass an instance through)."""
     if isinstance(router, Router):
         return router
@@ -141,6 +211,13 @@ def make_router(router: str | Router, shard_map: "ShardMap" = None) -> Router:
         if shard_map is None:
             raise ValueError("locality routing needs the cluster's ShardMap")
         return ShardLocalityRouter(shard_map)
+    if router == "cache-affinity":
+        if shard_map is None or link is None:
+            raise ValueError(
+                "cache-affinity routing needs the cluster's ShardMap and "
+                "LinkSpec"
+            )
+        return CacheAffinityRouter(shard_map, link)
     raise ValueError(
         f"unknown router {router!r}; expected one of {ROUTER_NAMES}"
     )

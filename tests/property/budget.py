@@ -1,0 +1,23 @@
+"""Hypothesis example budgets, scalable for the nightly CI run.
+
+Every property test sizes its example count for the fast pull-request
+gate.  The scheduled nightly job exports ``PROP_EXAMPLES_MULT`` (e.g.
+``5``) to multiply every budget without touching the tests — deadlines
+stay disabled either way, since the simulations inside single examples
+legitimately take tens of milliseconds.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings
+
+_MULT = max(1, int(os.environ.get("PROP_EXAMPLES_MULT", "1")))
+
+
+def prop_settings(max_examples: int, **kwargs) -> settings:
+    """``@settings`` for one property: the PR-gate budget times the
+    nightly multiplier, with deadlines off."""
+    kwargs.setdefault("deadline", None)
+    return settings(max_examples=max_examples * _MULT, **kwargs)

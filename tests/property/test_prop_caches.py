@@ -1,7 +1,9 @@
 """Property-based invariants of MP-Cache and the Zipf traffic model."""
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from tests.property.budget import prop_settings
 
 from repro.clustering.kmeans import KMeans
 from repro.core.mp_cache import EncoderCache
@@ -12,7 +14,7 @@ ns = st.integers(min_value=2, max_value=5000)
 seeds = st.integers(min_value=0, max_value=2**31 - 1)
 
 
-@settings(max_examples=40, deadline=None)
+@prop_settings(40)
 @given(n=ns, alpha=alphas, seed=seeds)
 def test_zipf_probabilities_normalized(n, alpha, seed):
     sampler = ZipfSampler(n, alpha=alpha, seed=seed)
@@ -21,7 +23,7 @@ def test_zipf_probabilities_normalized(n, alpha, seed):
     assert probs.min() >= 0
 
 
-@settings(max_examples=40, deadline=None)
+@prop_settings(40)
 @given(n=ns, alpha=alphas, seed=seeds, count=st.integers(1, 100))
 def test_zipf_hit_rate_in_unit_interval(n, alpha, seed, count):
     sampler = ZipfSampler(n, alpha=alpha, seed=seed)
@@ -29,7 +31,7 @@ def test_zipf_hit_rate_in_unit_interval(n, alpha, seed, count):
     assert 0.0 <= rate <= 1.0 + 1e-9
 
 
-@settings(max_examples=40, deadline=None)
+@prop_settings(40)
 @given(n=ns, alpha=alphas, seed=seeds)
 def test_zipf_full_cache_hits_everything(n, alpha, seed):
     sampler = ZipfSampler(n, alpha=alpha, seed=seed)
@@ -38,7 +40,7 @@ def test_zipf_full_cache_hits_everything(n, alpha, seed):
     )
 
 
-@settings(max_examples=30, deadline=None)
+@prop_settings(30)
 @given(
     capacity=st.integers(min_value=0, max_value=10**6),
     dim=st.integers(min_value=1, max_value=256),
@@ -48,7 +50,7 @@ def test_encoder_cache_capacity_accounting(capacity, dim):
     assert cache.capacity_entries * cache.entry_bytes <= capacity
 
 
-@settings(max_examples=25, deadline=None)
+@prop_settings(25)
 @given(
     seed=seeds,
     n_points=st.integers(min_value=8, max_value=120),

@@ -18,7 +18,9 @@ every shed policy, batching on and off, single- and multi-tenant:
   2 -> 4 -> 2 membership cycle accounts every query exactly once.
 """
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from tests.property.budget import prop_settings
 
 from repro.analysis.sharding import greedy_shard
 from repro.core.online import MultiPathScheduler, StaticScheduler
@@ -83,7 +85,7 @@ def sorted_records(result):
     return sorted(result.records, key=lambda r: r.index)
 
 
-@settings(max_examples=40, deadline=None)
+@prop_settings(40)
 @given(gaps=gaps, sizes=query_sizes, sla=slas, policy=policies,
        batch=batches, sched_kind=schedulers, tenants=st.booleans())
 def test_kernel_matches_one_node_cluster(
@@ -106,7 +108,7 @@ def test_kernel_matches_one_node_cluster(
     assert got == expected
 
 
-@settings(max_examples=40, deadline=None)
+@prop_settings(40)
 @given(gaps=gaps, sizes=query_sizes, sla=slas,
        policy=st.sampled_from(["none", "drop-late"]),
        sched_kind=schedulers)
@@ -120,7 +122,7 @@ def test_kernel_matches_reference_loop(gaps, sizes, sla, policy, sched_kind):
     assert engine.run(scenario).records == reference.run(scenario).records
 
 
-@settings(max_examples=25, deadline=None)
+@prop_settings(25)
 @given(gaps=gaps, sizes=query_sizes, sla=slas, policy=policies,
        batch=batches)
 def test_streaming_counters_match_exact(gaps, sizes, sla, policy, batch):
@@ -139,7 +141,7 @@ def test_streaming_counters_match_exact(gaps, sizes, sla, policy, batch):
     assert stream.switching_breakdown() == exact.switching_breakdown()
 
 
-@settings(max_examples=25, deadline=None)
+@prop_settings(25)
 @given(gaps=gaps, sizes=query_sizes, sla=slas, policy=policies,
        batch=batches, tenants=st.booleans())
 def test_every_query_accounted_exactly_once(
@@ -158,7 +160,7 @@ def test_every_query_accounted_exactly_once(
     )
 
 
-@settings(max_examples=30, deadline=None)
+@prop_settings(30)
 @given(gaps=gaps, sizes=query_sizes, sla=slas, policy=policies,
        batch=batches, sched_kind=schedulers,
        router=st.sampled_from(["round-robin", "least-loaded", "locality"]),
@@ -196,7 +198,7 @@ def test_scale_2_4_2_accounts_every_query_exactly_once(
     )
 
 
-@settings(max_examples=30, deadline=None)
+@prop_settings(30)
 @given(gaps=gaps, sizes=query_sizes, sla=slas, policy=policies,
        batch=batches, sched_kind=schedulers, tenants=st.booleans())
 def test_elastic_cluster_is_noop_when_controller_never_fires(

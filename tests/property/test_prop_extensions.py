@@ -1,7 +1,9 @@
 """Property-based checks on TT-Rec, the Criteo file format, and sharding."""
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from tests.property.budget import prop_settings
 
 from repro.analysis.sharding import greedy_shard
 from repro.data.criteo import format_line, parse_line
@@ -10,7 +12,7 @@ from repro.embeddings.ttrec import TTEmbedding, factorize_evenly, mixed_radix_di
 seeds = st.integers(min_value=0, max_value=2**31 - 1)
 
 
-@settings(max_examples=60, deadline=None)
+@prop_settings(60)
 @given(n=st.integers(min_value=1, max_value=10**8), parts=st.integers(2, 4))
 def test_factorization_always_covers(n, parts):
     factors = factorize_evenly(n, parts)
@@ -19,7 +21,7 @@ def test_factorization_always_covers(n, parts):
     assert all(f >= 1 for f in factors)
 
 
-@settings(max_examples=40, deadline=None)
+@prop_settings(40)
 @given(
     radices=st.lists(st.integers(2, 50), min_size=2, max_size=4),
     seed=seeds,
@@ -37,7 +39,7 @@ def test_mixed_radix_reconstructs(radices, seed):
     np.testing.assert_array_equal(reconstructed, ids)
 
 
-@settings(max_examples=20, deadline=None)
+@prop_settings(20)
 @given(
     rows=st.integers(min_value=2, max_value=500),
     rank=st.integers(min_value=1, max_value=6),
@@ -53,7 +55,7 @@ def test_ttrec_rows_deterministic_and_finite(rows, rank, seed):
     assert np.isfinite(out1).all()
 
 
-@settings(max_examples=50, deadline=None)
+@prop_settings(50)
 @given(
     label=st.integers(0, 1),
     dense=st.lists(st.floats(0, 1e6), min_size=1, max_size=13),
@@ -69,7 +71,7 @@ def test_criteo_line_roundtrip(label, dense, sparse):
     np.testing.assert_array_equal(sparse2, sparse_arr)
 
 
-@settings(max_examples=30, deadline=None)
+@prop_settings(30)
 @given(
     cards=st.lists(st.integers(1, 10**6), min_size=1, max_size=30),
     n_nodes=st.integers(1, 16),

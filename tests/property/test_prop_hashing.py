@@ -1,7 +1,9 @@
 """Property-based checks on the DHE hash family and encoders."""
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from tests.property.budget import prop_settings
 
 from repro.embeddings.hashing import HashFamily, encode_ids
 
@@ -10,7 +12,7 @@ ms = st.integers(min_value=2, max_value=1_000_000)
 seeds = st.integers(min_value=0, max_value=2**31 - 1)
 
 
-@settings(max_examples=50, deadline=None)
+@prop_settings(50)
 @given(k=ks, m=ms, seed=seeds)
 def test_hash_outputs_in_range(k, m, seed):
     family = HashFamily(k=k, m=m, seed=seed)
@@ -21,7 +23,7 @@ def test_hash_outputs_in_range(k, m, seed):
     assert out.max() < m
 
 
-@settings(max_examples=30, deadline=None)
+@prop_settings(30)
 @given(k=ks, m=ms, seed=seeds, id_val=st.integers(min_value=0, max_value=2**32))
 def test_hash_deterministic_per_id(k, m, seed, id_val):
     family = HashFamily(k=k, m=m, seed=seed)
@@ -31,7 +33,7 @@ def test_hash_deterministic_per_id(k, m, seed, id_val):
     np.testing.assert_array_equal(b[0], b[1])
 
 
-@settings(max_examples=30, deadline=None)
+@prop_settings(30)
 @given(m=st.integers(min_value=2, max_value=10**6), seed=seeds)
 def test_uniform_encoding_bounded(m, seed):
     rng = np.random.default_rng(seed)
@@ -41,7 +43,7 @@ def test_uniform_encoding_bounded(m, seed):
     assert out.max() <= 1.0 + 1e-12
 
 
-@settings(max_examples=30, deadline=None)
+@prop_settings(30)
 @given(m=st.integers(min_value=2, max_value=10**6), seed=seeds)
 def test_gaussian_encoding_finite(m, seed):
     rng = np.random.default_rng(seed)
@@ -50,7 +52,7 @@ def test_gaussian_encoding_finite(m, seed):
     assert np.isfinite(out).all()
 
 
-@settings(max_examples=20, deadline=None)
+@prop_settings(20)
 @given(m=st.integers(min_value=10, max_value=10**6))
 def test_uniform_encoding_monotone_in_hash(m):
     hashed = np.arange(0, m, max(1, m // 17))[None, :]

@@ -1,7 +1,9 @@
 """Property-based invariants of the hardware latency/energy model."""
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from tests.property.budget import prop_settings
 
 from repro.core.representations import RepresentationConfig
 from repro.hardware.catalog import DEVICE_CATALOG
@@ -32,7 +34,7 @@ def rep_strategy():
     )
 
 
-@settings(max_examples=60, deadline=None)
+@prop_settings(60)
 @given(rep=rep_strategy(), device=devices, batch=batches)
 def test_breakdown_fields_nonnegative_and_finite(rep, device, batch):
     bd = estimate_breakdown(rep, KAGGLE, DEVICE_CATALOG[device], batch)
@@ -42,7 +44,7 @@ def test_breakdown_fields_nonnegative_and_finite(rep, device, batch):
     assert bd.total > 0.0
 
 
-@settings(max_examples=40, deadline=None)
+@prop_settings(40)
 @given(rep=rep_strategy(), device=devices, batch=st.integers(1, 2047))
 def test_latency_monotone_in_batch(rep, device, batch):
     spec = DEVICE_CATALOG[device]
@@ -51,7 +53,7 @@ def test_latency_monotone_in_batch(rep, device, batch):
     assert large >= small * 0.999
 
 
-@settings(max_examples=40, deadline=None)
+@prop_settings(40)
 @given(
     rep=rep_strategy(), device=devices, batch=batches,
     hit=st.floats(min_value=0.0, max_value=1.0),
@@ -73,7 +75,7 @@ def test_cache_shrinks_the_compute_stack(rep, device, batch, hit, speedup):
     assert cached.total <= base.total + max(hit_gather_budget, 0.0) + 1e-12
 
 
-@settings(max_examples=40, deadline=None)
+@prop_settings(40)
 @given(rep=rep_strategy(), device=devices, batch=batches)
 def test_power_bounded_by_tdp(rep, device, batch):
     spec = DEVICE_CATALOG[device]

@@ -1,7 +1,9 @@
 """Property-based gradient and shape checks on the NN substrate."""
 
 import numpy as np
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import assume, given, strategies as st
+
+from tests.property.budget import prop_settings
 
 from repro.nn import EmbeddingTable, Linear, MLP
 from repro.nn.gradcheck import check_module_gradients
@@ -12,7 +14,7 @@ batches = st.integers(min_value=1, max_value=5)
 seeds = st.integers(min_value=0, max_value=2**31 - 1)
 
 
-@settings(max_examples=25, deadline=None)
+@prop_settings(25)
 @given(in_f=dims, out_f=dims, batch=batches, seed=seeds)
 def test_linear_gradients_always_match(in_f, out_f, batch, seed):
     rng = np.random.default_rng(seed)
@@ -20,7 +22,7 @@ def test_linear_gradients_always_match(in_f, out_f, batch, seed):
     check_module_gradients(layer, rng.standard_normal((batch, in_f)), rng)
 
 
-@settings(max_examples=15, deadline=None)
+@prop_settings(15)
 @given(sizes=st.lists(dims, min_size=2, max_size=4), batch=batches, seed=seeds)
 def test_mlp_gradients_always_match(sizes, batch, seed):
     rng = np.random.default_rng(seed)
@@ -41,7 +43,7 @@ def _min_abs_preactivation(mlp: MLP, x: np.ndarray) -> float:
     return smallest
 
 
-@settings(max_examples=25, deadline=None)
+@prop_settings(25)
 @given(
     rows=st.integers(min_value=1, max_value=50),
     dim=dims,
@@ -59,7 +61,7 @@ def test_embedding_backward_conserves_gradient_mass(rows, dim, batch, seed):
     np.testing.assert_allclose(table.weight.grad.sum(), grad.sum(), atol=1e-9)
 
 
-@settings(max_examples=50, deadline=None)
+@prop_settings(50)
 @given(
     logits=st.lists(
         st.floats(min_value=-50, max_value=50), min_size=1, max_size=20

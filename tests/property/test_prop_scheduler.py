@@ -1,7 +1,9 @@
 """Property-based invariants of Algorithm 2 and the serving simulator."""
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from tests.property.budget import prop_settings
 
 from repro.core.online import MultiPathScheduler, StaticScheduler
 from repro.data.queries import Query, QuerySet
@@ -24,7 +26,7 @@ def build_paths(table_lat, dhe_lat, hybrid_lat):
     ]
 
 
-@settings(max_examples=80, deadline=None)
+@prop_settings(80)
 @given(t=latencies, d=latencies, h=latencies, sla=slas, size=sizes)
 def test_scheduler_always_returns_a_path(t, d, h, sla, size):
     paths = build_paths(t, d, h)
@@ -33,7 +35,7 @@ def test_scheduler_always_returns_a_path(t, d, h, sla, size):
     assert decision.path in paths
 
 
-@settings(max_examples=80, deadline=None)
+@prop_settings(80)
 @given(t=latencies, d=latencies, h=latencies, sla=slas, size=sizes)
 def test_feasible_selection_is_most_preferred_feasible(t, d, h, sla, size):
     """If the chosen path meets the SLA, no more-preferred kind also did."""
@@ -48,7 +50,7 @@ def test_feasible_selection_is_most_preferred_feasible(t, d, h, sla, size):
                 assert path.latency(size) > sla
 
 
-@settings(max_examples=50, deadline=None)
+@prop_settings(50)
 @given(
     n_queries=st.integers(min_value=1, max_value=40),
     gap_ms=st.floats(min_value=0.0, max_value=20.0),

@@ -167,6 +167,99 @@ class TestCommands:
         assert code == 2
         assert "single-node" in capsys.readouterr().err
 
+    def test_serve_cluster_cache(self, capsys):
+        code = main([
+            "serve", "--dataset", "kaggle", "--queries", "200", "--qps",
+            "20000", "--nodes", "4", "--router", "cache-affinity",
+            "--cache-mb", "8", "--max-batch", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache-affinity router" in out
+        assert "cache hit rate" in out and "cache fill bytes" in out
+
+    def test_serve_cache_flag_hygiene(self, capsys):
+        # A non-positive budget is meaningless, not "off".
+        code = main([
+            "serve", "--nodes", "2", "--cache-mb", "0", "--queries", "10",
+        ])
+        assert code == 2
+        assert "--cache-mb must be positive" in capsys.readouterr().err
+        code = main([
+            "serve", "--nodes", "2", "--cache-mb", "-4", "--queries", "10",
+        ])
+        assert code == 2
+        assert "--cache-mb must be positive" in capsys.readouterr().err
+        # The tier is cluster-only: cache flags without --nodes > 1.
+        code = main(["serve", "--cache-mb", "8", "--queries", "10"])
+        assert code == 2
+        assert "--nodes" in capsys.readouterr().err
+        # A policy with no cache to govern.
+        code = main([
+            "serve", "--nodes", "2", "--cache-policy", "lru",
+            "--queries", "10",
+        ])
+        assert code == 2
+        assert "--cache-policy" in capsys.readouterr().err
+        # The cache-aware router needs the tier it scores by...
+        code = main([
+            "serve", "--nodes", "2", "--router", "cache-affinity",
+            "--queries", "10",
+        ])
+        assert code == 2
+        assert "--cache-mb" in capsys.readouterr().err
+        # ...and a fleet: cache-affinity + cache on one node is rejected.
+        code = main([
+            "serve", "--router", "cache-affinity", "--cache-mb", "8",
+            "--queries", "10",
+        ])
+        assert code == 2
+        assert "--nodes" in capsys.readouterr().err
+        # Cache flags on the single-node switching mode are rejected.
+        code = main([
+            "serve", "--switching", "--cache-mb", "8", "--queries", "10",
+        ])
+        assert code == 2
+        assert "single-node" in capsys.readouterr().err
+
+    def test_serve_cache_with_failover_and_replication_edges(self, capsys):
+        # The tier composes with the failure drill when replication holds
+        # a surviving replica for every group...
+        code = main([
+            "serve", "--dataset", "kaggle", "--queries", "200", "--qps",
+            "20000", "--nodes", "4", "--replication", "2",
+            "--cache-mb", "8", "--fail-at", "0.002", "--fail-node", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "failed nodes" in out and "cache hit rate" in out
+        # ...replication bounds are still enforced with cache flags set...
+        code = main([
+            "serve", "--nodes", "2", "--cache-mb", "8", "--replication",
+            "3", "--queries", "10",
+        ])
+        assert code == 2
+        assert "--replication" in capsys.readouterr().err
+        # ...and so is the fail-node range check.
+        code = main([
+            "serve", "--nodes", "2", "--cache-mb", "8", "--fail-at", "0.1",
+            "--fail-node", "5", "--queries", "10",
+        ])
+        assert code == 2
+        assert "--fail-node" in capsys.readouterr().err
+
+    def test_serve_autoscale_with_cache(self, capsys):
+        code = main([
+            "serve", "--dataset", "kaggle", "--queries", "400", "--qps",
+            "30000", "--autoscale", "--nodes", "4", "--min-nodes", "2",
+            "--replication", "2", "--cache-mb", "8", "--max-batch", "8",
+            "--batch-timeout-ms", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "elastic cluster        : 2..4 nodes" in out
+        assert "cache hit rate" in out
+
     def test_serve_switching(self, capsys):
         code = main([
             "serve", "--dataset", "kaggle", "--queries", "300", "--qps",

@@ -4,9 +4,12 @@ import pytest
 
 from repro.analysis.sharding import greedy_shard
 from repro.data.queries import Query
+from repro.hardware.topology import ETHERNET_25G
+from repro.serving.cache import CacheConfig
 from repro.serving.cluster import ClusterNode, ShardMap
 from repro.serving.policies import NoShed
 from repro.serving.routing import (
+    CacheAffinityRouter,
     LeastLoadedRouter,
     RoundRobinRouter,
     ShardLocalityRouter,
@@ -126,6 +129,70 @@ class TestShardLocality:
         assert picks == repeat
 
 
+class TestCacheAffinity:
+    @pytest.fixture
+    def shard_map(self):
+        plan = greedy_shard([100, 200, 300, 400], 8, 4)
+        return ShardMap.from_plan(plan, replication=1)
+
+    def _router(self, shard_map):
+        return CacheAffinityRouter(shard_map, ETHERNET_25G)
+
+    def _warm_cache(self, group, hit=True):
+        cache = CacheConfig(capacity_bytes=1 << 20, embedding_dim=8).build(
+            n_groups=4, hot_rows=64
+        )
+        if hit:
+            cache.warm("P", [group])  # full residency: affinity 1.0
+        return cache
+
+    def test_idle_fleet_routes_to_the_owner(self, shard_map):
+        router = self._router(shard_map)
+        nodes = _nodes(4)
+        for index in range(20):
+            query = _query(index)
+            picked = router.select_node(query, 0.0, nodes)
+            assert picked.node_id in shard_map.owners[shard_map.group_of(query)]
+
+    def test_busy_owner_loses_to_cache_warm_node(self, shard_map):
+        router = self._router(shard_map)
+        nodes = _nodes(4)
+        query = _query(0)
+        group = shard_map.group_of(query)
+        owner = min(shard_map.owners[group])
+        warm = next(n for n in nodes if n.node_id != owner)
+        # The owner's device is backed up well past the miss penalty; the
+        # fully-warm non-owner serves the hot rows at affinity 1.0.
+        nodes[owner].free_at["dev"][0] = 1.0
+        warm.cache = self._warm_cache(group)
+        assert router.select_node(query, 1e-6, nodes) is warm
+
+    def test_busy_owner_still_beats_cold_nodes_within_penalty(self, shard_map):
+        router = self._router(shard_map)
+        nodes = _nodes(4)
+        query = _query(0)
+        group = shard_map.group_of(query)
+        owner = min(shard_map.owners[group])
+        # A queue shorter than the full miss penalty: eating the wait at
+        # the owner is still cheaper than pulling every hot row remotely.
+        hot_bytes = query.size * shard_map.hot_fraction * shard_map.bytes_per_sample
+        penalty_s = hot_bytes / ETHERNET_25G.bandwidth
+        nodes[owner].free_at["dev"][0] = penalty_s / 2
+        assert router.select_node(query, 0.0, nodes).node_id == owner
+
+    def test_deterministic_across_repeats(self, shard_map):
+        router = self._router(shard_map)
+        nodes = _nodes(4)
+        nodes[1].cache = self._warm_cache(0)
+        picks = [
+            router.select_node(_query(i), 0.0, nodes).node_id for i in range(50)
+        ]
+        repeat = [
+            router.select_node(_query(i), 0.0, nodes).node_id for i in range(50)
+        ]
+        assert picks == repeat
+
+
 class TestMakeRouter:
     def test_resolves_names(self):
         assert make_router("round-robin").name == "round-robin"
@@ -134,6 +201,18 @@ class TestMakeRouter:
     def test_locality_needs_shard_map(self):
         with pytest.raises(ValueError, match="ShardMap"):
             make_router("locality")
+
+    def test_cache_affinity_needs_map_and_link(self):
+        plan = greedy_shard([100, 200], 8, 2)
+        shard_map = ShardMap.from_plan(plan)
+        with pytest.raises(ValueError, match="ShardMap and"):
+            make_router("cache-affinity", shard_map=shard_map)
+        with pytest.raises(ValueError, match="ShardMap and"):
+            make_router("cache-affinity", link=ETHERNET_25G)
+        router = make_router(
+            "cache-affinity", shard_map=shard_map, link=ETHERNET_25G
+        )
+        assert router.name == "cache-affinity"
 
     def test_passes_instances_through(self):
         router = LeastLoadedRouter()
