@@ -1,8 +1,9 @@
 # Developer entry points. `make test` is the tier-1 gate; `make bench-smoke`
 # runs a fast subset of the figure benchmarks; `make perf-smoke` is the
 # perf-regression gate (fails when the engine-vs-reference speedup, the
-# vectorized workload generation, or the autoscaler's node-seconds savings
-# drops below its pinned floor); `make lint` byte-compiles every tree and
+# vectorized workload generation, the autoscaler's node-seconds savings,
+# or the control plane's Pareto domination drops below its pinned floor);
+# `make lint` byte-compiles every tree and
 # checks the suite still collects (no external linters are assumed in the
 # container); `make docstrings-check` fails on undocumented public API in
 # the serving kernel and MP-Rec core; `make examples-smoke` +
@@ -30,7 +31,8 @@ perf-smoke:
 		benchmarks/test_workload_generation.py \
 		benchmarks/test_runtime_switching.py \
 		benchmarks/test_autoscaling.py \
-		benchmarks/test_cluster_cache.py
+		benchmarks/test_cluster_cache.py \
+		benchmarks/test_ablation_scheduler.py
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

@@ -161,6 +161,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="freeze membership for this long after each scale operation "
              "(hysteresis; default 500 ms, requires --autoscale)",
     )
+    serve.add_argument(
+        "--autopilot", action="store_true",
+        help="unified SLO autopilot: one control plane arbitrates "
+             "representation switches, scale up/down, cache re-warm, and "
+             "router swaps against one fleet cost function (subsumes "
+             "--switching and --autoscale; --nodes/--max-nodes is the "
+             "fleet ceiling, --min-nodes the floor)",
+    )
+    serve.add_argument(
+        "--trace-decisions", type=int, default=8, metavar="N",
+        help="print the first N autopilot decisions with every candidate "
+             "action's predicted cost (requires --autopilot)",
+    )
 
     char = sub.add_parser("characterize", help="operator breakdowns")
     char.add_argument("--dataset", default="kaggle", choices=["kaggle", "terabyte"])
@@ -219,6 +232,38 @@ def cmd_serve(args) -> int:
 
     config = _datasets()[args.dataset]
     # Pure flag checks run before the (potentially huge) workload is built.
+    if args.autopilot:
+        if args.switching:
+            print(
+                "error: --autopilot subsumes --switching (representation "
+                "switches are one of its action classes); pass one",
+                file=sys.stderr,
+            )
+            return 2
+        if args.autoscale:
+            print(
+                "error: --autopilot subsumes --autoscale (scale is one of "
+                "its action classes); pass one", file=sys.stderr,
+            )
+            return 2
+        if args.scheduler != "mp-rec":
+            print(
+                "error: --autopilot builds its own one-representation-per-"
+                "device deployment; leave --scheduler at its default",
+                file=sys.stderr,
+            )
+            return 2
+        if args.switch_cooldown is not None or args.scale_cooldown is not None:
+            print(
+                "error: --switch-cooldown/--scale-cooldown tune the stand-"
+                "alone controllers; the autopilot shares one cooldown "
+                "across all action classes (ControlPlane.cooldown_s)",
+                file=sys.stderr,
+            )
+            return 2
+    elif args.trace_decisions != 8:
+        print("error: --trace-decisions requires --autopilot", file=sys.stderr)
+        return 2
     if args.switch_cooldown is not None and not args.switching:
         print("error: --switch-cooldown requires --switching", file=sys.stderr)
         return 2
@@ -262,20 +307,21 @@ def cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
-    if not args.autoscale:
-        autoscale_flags = [
+    if not (args.autoscale or args.autopilot):
+        fleet_flags = [
             ("--min-nodes", args.min_nodes != 1),
             ("--max-nodes", args.max_nodes is not None),
             ("--scale-cooldown", args.scale_cooldown is not None),
         ]
-        ignored = [flag for flag, used in autoscale_flags if used]
+        ignored = [flag for flag, used in fleet_flags if used]
         if ignored:
             print(
-                f"error: {', '.join(ignored)} require(s) --autoscale",
-                file=sys.stderr,
+                f"error: {', '.join(ignored)} require(s) --autoscale "
+                "or --autopilot", file=sys.stderr,
             )
             return 2
     else:
+        mode = "--autopilot" if args.autopilot else "--autoscale"
         max_nodes = args.max_nodes if args.max_nodes is not None else args.nodes
         if args.max_nodes is not None and args.nodes > 1 \
                 and args.max_nodes != args.nodes:
@@ -287,7 +333,7 @@ def cmd_serve(args) -> int:
             return 2
         if max_nodes < 2:
             print(
-                "error: --autoscale with --nodes 1 is not a fleet; give "
+                f"error: {mode} with --nodes 1 is not a fleet; give "
                 "the ceiling via --nodes or --max-nodes (> 1)",
                 file=sys.stderr,
             )
@@ -300,7 +346,7 @@ def cmd_serve(args) -> int:
             return 2
         if args.fail_at is not None or args.fail_node != 0:
             print(
-                "error: --autoscale and --fail-at/--fail-node cannot be "
+                f"error: {mode} and --fail-at/--fail-node cannot be "
                 "combined (elastic membership has no failure drill yet)",
                 file=sys.stderr,
             )
@@ -318,6 +364,8 @@ def cmd_serve(args) -> int:
     )
     if args.switching:
         return _serve_switching(args, config, scenario)
+    if args.autopilot:
+        return _serve_autopilot(args, config, scenario, max_nodes)
     if args.autoscale:
         return _serve_autoscale(args, config, scenario, max_nodes)
     if args.nodes > 1:
@@ -481,6 +529,41 @@ def _serve_autoscale(args, config, scenario, max_nodes) -> int:
             f"  t={event.time_s * 1e3:8.1f} ms  {event.kind:4s} node "
             f"{event.node_id} -> {event.n_members} members ({detail})"
         )
+    return 0
+
+
+def _serve_autopilot(args, config, scenario, max_nodes) -> int:
+    from repro.experiments.setup import run_autopilot_serving
+    from repro.hardware.topology import CLUSTER_LINKS
+    from repro.serving.controlplane import format_decision
+
+    cluster = run_autopilot_serving(
+        config, scenario, min_nodes=args.min_nodes, max_nodes=max_nodes,
+        router=args.router, replication=args.replication,
+        link=CLUSTER_LINKS[args.link], shed_policy=args.shed_policy,
+        max_batch_size=args.max_batch,
+        batch_timeout_s=args.batch_timeout_ms / 1e3,
+        max_queue=args.max_queue, streaming=args.streaming,
+        **_cache_kwargs(args),
+    )
+    result = cluster.result
+    print(f"autopilot fleet        : {args.min_nodes}..{max_nodes} nodes, "
+          f"{args.router} router, replication {args.replication}, {args.link}")
+    print(f"correct predictions/s  : {result.correct_prediction_throughput:,.0f}")
+    print(f"raw samples/s          : {result.raw_throughput:,.0f}")
+    print(f"served accuracy        : {result.mean_accuracy:.3f}%")
+    print(f"SLA violations         : {result.violation_rate * 100:.2f}%")
+    print(f"shed (dropped)         : {result.drop_rate * 100:.2f}%")
+    print(f"p99 latency            : {result.p99_latency_s * 1e3:.2f} ms")
+    print(f"control decisions      : {len(cluster.control_decisions)}")
+    print(f"scale ups / downs      : {cluster.scale_ups} / {cluster.scale_downs}")
+    print(f"node-seconds           : {cluster.node_seconds:.3f}")
+    print(f"final router           : {cluster.router}")
+    _print_cache(cluster.cache)
+    if cluster.edge_drops:
+        print(f"edge drops             : {cluster.edge_drops}")
+    for decision in cluster.control_decisions[:args.trace_decisions]:
+        print(f"  {format_decision(decision)}")
     return 0
 
 

@@ -42,6 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.paths import ExecutionPath
+from repro.serving.signals import Hysteresis, queue_pressure, window_utilization
 
 # Freeing the old representation's memory is cheaper than streaming the
 # new one in; Fig 15 teardown is a fraction of the load cost.
@@ -160,10 +161,10 @@ class SwitchController:
                     )
         self._initial: dict[str, ExecutionPath] | None = None
         self._resident: dict[str, ExecutionPath] = {}
-        # streak[device] = (agreed-upon target path, consecutive count)
-        self._streak: dict[str, tuple[ExecutionPath | None, int]] = {}
-        self._cooldown_until: dict[str, float] = {}
-        self._switching: set[str] = set()
+        # Shared thrash control, keyed by device name: patience streaks
+        # (targets voted by id() — ExecutionPath equality would compare
+        # profile arrays), busy-while-switching, per-device cooldowns.
+        self._hysteresis = Hysteresis()
 
     # ---- lifecycle -------------------------------------------------------
 
@@ -222,13 +223,21 @@ class SwitchController:
                    for candidate in self.candidates[device]):
                 self.candidates[device] = [path, *self.candidates[device]]
         self._resident = resident
-        self._streak = {}
-        self._cooldown_until = {}
-        self._switching = set()
+        self._hysteresis.reset()
         self.events = []
         self.total_overhead_s = 0.0
 
     # ---- kernel hooks ----------------------------------------------------
+
+    def on_tick(self, core, tick) -> None:
+        """Adapter for the kernel's single control observer: unpack one
+        :class:`~repro.serving.engine.ControlTick` into the PR-3 decision
+        rule.  The single-node façade (and a cluster without a fleet
+        controller) wires this as the core's ``on_control_tick``."""
+        self.observe(
+            core, tick.path, tick.wait_s, tick.batch_size, tick.scenario,
+            tick.now, tick.loop, batch_queries=tick.batch_queries,
+        )
 
     def observe(self, core, path: ExecutionPath, wait_s: float,
                 batch_size: int, scenario, now: float, loop,
@@ -243,66 +252,84 @@ class SwitchController:
         candidates = self.candidates.get(device)
         if candidates is None or len(candidates) < 2:
             return
-        if device in self._switching or now < self._cooldown_until.get(
-            device, 0.0
-        ):
+        if self._hysteresis.blocked(device, now):
             return
-        pressure = wait_s / scenario.sla_s
+        pressure = queue_pressure(wait_s, scenario.sla_s)
         # Leading saturation signal: service time of the current batch mix
         # against the batching window. Queue wait only rises *after* a
         # backlog forms — and a backlog is committed to the timeline and
         # must drain on the old representation before a switch can start —
         # so saturation of the window itself must count as surge evidence.
-        timeout_s = core.batcher.timeout_s
+        # No floor guard: a residency whose singleton latency already
+        # overflows the window is exactly what surge must switch away from.
         saturated = (
-            timeout_s > 0
-            and path.latency(max(1, batch_size)) >= self.util_hi * timeout_s
+            window_utilization(path, batch_size, core.batcher.timeout_s)
+            >= self.util_hi
         )
         if pressure >= self.hi_pressure or saturated:
             mode = "surge"
         elif pressure <= self.lo_pressure:
             mode = "calm"
         else:
-            self._streak.pop(device, None)
+            self._hysteresis.clear(device)
             return
         if mode == "surge":
-            # Under sustained overload the batcher fills to its cap, so
-            # judge candidates at full-batch size — capacity (how fast a
-            # backlog drains), not the current batch's latency, is what
-            # ends a surge. Scale the observed *samples* up to what a
-            # full batch of queries would carry (batch_size counts
-            # samples, the batcher cap counts queries — different units).
-            queries = batch_queries or batch_size
-            if 0 < queries < core.batcher.max_batch_size:
-                batch_size = round(
-                    batch_size * core.batcher.max_batch_size / queries
-                )
+            batch_size = self.full_batch_size(core, batch_size, batch_queries)
         target = self._desired(device, mode, batch_size, scenario.sla_s, wait_s)
         if target is self._resident[device]:
             # The current residency is already the right one; noise that
             # briefly favored another candidate must start over.
-            self._streak.pop(device, None)
+            self._hysteresis.clear(device)
             return
         # Hysteresis counts consecutive dispatches agreeing on the *same*
         # target — a streak of mixed verdicts (batch-size noise straddling
-        # the representations' crossover) never triggers.
-        prev_target, count = self._streak.get(device, (None, 0))
-        count = count + 1 if prev_target is target else 1
-        if count < self.patience:
-            self._streak[device] = (target, count)
+        # the representations' crossover) never triggers.  Targets vote by
+        # id(): path identity, exactly what residency bookkeeping uses.
+        if self._hysteresis.vote(device, id(target)) < self.patience:
             return
-        self._streak.pop(device, None)
-        self._start(core, device, target, now, loop)
+        self.start_switch(core, device, target, now, loop)
+
+    @staticmethod
+    def full_batch_size(core, batch_size: int,
+                        batch_queries: int | None) -> int:
+        """Scale an observed batch's *samples* to a full query batch.
+
+        Under sustained overload the batcher fills to its cap, so surge
+        judges candidates at full-batch size — capacity (how fast a
+        backlog drains), not the current batch's latency, is what ends a
+        surge.  ``batch_size`` counts samples, the batcher cap counts
+        queries — different units — hence the scaling.
+        """
+        queries = batch_queries or batch_size
+        if 0 < queries < core.batcher.max_batch_size:
+            return round(batch_size * core.batcher.max_batch_size / queries)
+        return batch_size
 
     def complete(self, core, device: str, now: float) -> None:
         """The switch's blocking window elapsed; arm the cooldown."""
-        self._switching.discard(device)
-        self._cooldown_until[device] = now + self.cooldown_s
+        self._hysteresis.complete(device, now, self.cooldown_s)
         core.scheduler.on_switch_completed(
             device, self._resident[device], now
         )
 
     # ---- decision internals ----------------------------------------------
+
+    def resident(self, device: str) -> ExecutionPath:
+        """The representation currently resident on ``device``."""
+        return self._resident[device]
+
+    def switching(self, device: str, now: float) -> bool:
+        """True while ``device`` has a switch in flight or is cooling
+        down — external arbiters (the control plane) must not commit a
+        second switch into the window."""
+        return self._hysteresis.blocked(device, now)
+
+    def desired(self, device: str, mode: str, batch_size: int,
+                sla_s: float, wait_s: float) -> ExecutionPath:
+        """The PR-3 target rule, exposed for external arbiters: the
+        candidate ``mode`` (``"surge"`` / ``"calm"``) would switch
+        ``device`` to at this operating point (may be the resident)."""
+        return self._desired(device, mode, batch_size, sla_s, wait_s)
 
     def _desired(self, device: str, mode: str, batch_size: int,
                  sla_s: float, wait_s: float) -> ExecutionPath:
@@ -336,8 +363,15 @@ class SwitchController:
         )
         return load + teardown
 
-    def _start(self, core, device: str, target: ExecutionPath, now: float,
-               loop) -> None:
+    def start_switch(self, core, device: str, target: ExecutionPath,
+                     now: float, loop) -> SwitchEvent:
+        """Commit a switch *now*: charge the Fig-15 window as a blocking
+        event on the device timeline, swap residency, and schedule the
+        completion.  Called by :meth:`observe` once hysteresis fires, and
+        by the :class:`~repro.serving.controlplane.ControlPlane` when its
+        fleet-level arbitration picks the switch action (the plane owns
+        the patience/cooldown there; this method only executes and
+        prices)."""
         from repro.serving.engine import SWITCH  # local: avoid import cycle
 
         old = self._resident[device]
@@ -345,13 +379,13 @@ class SwitchController:
         ready = core.timeline.block(device, now, overhead)
         core.scheduler.on_switch_started(device, old, target, now)
         self._resident[device] = target
-        self._switching.add(device)
+        self._hysteresis.begin(device)
         loop.push(ready, SWITCH, (core.node_id, device))
-        self.events.append(
-            SwitchEvent(
-                time_s=now, ready_s=ready, node_id=core.node_id,
-                device=device, from_label=old.label, to_label=target.label,
-                overhead_s=overhead,
-            )
+        event = SwitchEvent(
+            time_s=now, ready_s=ready, node_id=core.node_id,
+            device=device, from_label=old.label, to_label=target.label,
+            overhead_s=overhead,
         )
+        self.events.append(event)
         self.total_overhead_s += overhead
+        return event

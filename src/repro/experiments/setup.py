@@ -30,6 +30,7 @@ from repro.models.configs import KAGGLE, TERABYTE, ModelConfig
 from repro.quality.estimator import QualityEstimator
 from repro.serving.autoscale import AutoscaleController
 from repro.serving.cluster import ClusterResult, ClusterSimulator
+from repro.serving.controlplane import ACTION_CLASSES, ControlPlane
 from repro.serving.metrics import ServingResult
 from repro.serving.routing import Router
 from repro.serving.simulator import ServingSimulator
@@ -396,6 +397,84 @@ def build_autoscaled_cluster(
         replication=replication, link=link, devices=devices,
         with_cache=with_cache, autoscale=controller, **cluster_kwargs,
     )
+
+
+def build_autopilot_cluster(
+    model: ModelConfig,
+    min_nodes: int,
+    max_nodes: int,
+    router: str | Router = "least-loaded",
+    replication: int = 1,
+    link: LinkSpec = ETHERNET_100G,
+    devices: list[DeviceSpec] | None = None,
+    with_cache: bool = True,
+    initial: str = "table",
+    actions: tuple = ACTION_CLASSES,
+    initial_nodes: int | None = None,
+    hi_pressure: float = 0.75,
+    lo_pressure: float = 0.25,
+    patience: int = 4,
+    patience_down: int = 32,
+    cooldown_s: float = 0.25,
+    horizon_s: float = 2.0,
+    node_cost_w: float = 1.0,
+    **cluster_kwargs,
+) -> ClusterSimulator:
+    """Assemble the *autopilot* fleet: every node runs the runtime-
+    switching deployment (:func:`build_switching` — one resident
+    representation per device, the offline plan's others as swap
+    candidates), the plan is sized for the ``max_nodes`` ceiling, and a
+    single :class:`~repro.serving.controlplane.ControlPlane` arbitrates
+    representation switches, membership changes, cache re-warms, and
+    router swaps against one cost function (docs/controlplane.md).
+
+    ``actions`` selects the enabled action classes (default: all four);
+    ``cluster_kwargs`` forward to :class:`~repro.serving.cluster.
+    ClusterSimulator` (``shed_policy``, ``max_batch_size``,
+    ``batch_timeout_s``, ``max_queue``, ``hot_fraction``,
+    ``cache_bytes``, ``cache_policy``, ...) — with the cache tier on,
+    re-warm and cache-affinity re-routing become live candidates.
+    """
+    scheduler, switcher = build_switching(
+        model, devices, with_cache=with_cache, initial=initial
+    )
+    plane = ControlPlane(
+        min_nodes=min_nodes,
+        max_nodes=max_nodes,
+        initial_nodes=initial_nodes,
+        actions=actions,
+        hi_pressure=hi_pressure,
+        lo_pressure=lo_pressure,
+        patience=patience,
+        patience_down=patience_down,
+        cooldown_s=cooldown_s,
+        horizon_s=horizon_s,
+        node_cost_w=node_cost_w,
+    )
+    plan = greedy_shard(model.cardinalities, model.embedding_dim, max_nodes)
+    return ClusterSimulator(
+        scheduler, plan, router=router, replication=replication, link=link,
+        switch_controller=switcher, controlplane=plane, **cluster_kwargs,
+    )
+
+
+def run_autopilot_serving(
+    model: ModelConfig,
+    scenario: ServingScenario | None = None,
+    min_nodes: int = 1,
+    max_nodes: int = 4,
+    streaming: bool = False,
+    **kwargs,
+) -> ClusterResult:
+    """Run one scenario under the unified autopilot; the control-plane
+    analogue of :func:`run_autoscaled_serving`.  The returned
+    :class:`~repro.serving.cluster.ClusterResult` carries the full
+    decision trace (``control_decisions`` — every committed action with
+    the predicted costs of everything it rejected) alongside the scaling
+    trace and fleet accounting."""
+    scenario = scenario or ServingScenario.paper_default()
+    cluster = build_autopilot_cluster(model, min_nodes, max_nodes, **kwargs)
+    return cluster.run_streaming(scenario) if streaming else cluster.run(scenario)
 
 
 def run_autoscaled_serving(

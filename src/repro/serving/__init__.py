@@ -21,6 +21,11 @@ and the knobs they share:
 - The cluster additionally accepts an :class:`~repro.serving.autoscale.
   AutoscaleController` for elastic fleets: membership grows and shrinks
   mid-run with live shard handoff (docs/autoscaling.md).
+- Or a :class:`~repro.serving.controlplane.ControlPlane` — the unified
+  SLO autopilot that arbitrates switching, scaling, cache re-warm, and
+  re-routing against one cost function, one action per tick, with the
+  full decision trace in :attr:`ClusterResult.control_decisions`
+  (docs/controlplane.md).
 - ``cache_bytes > 0`` turns on the cluster MP-Cache tier: every node
   runs a :class:`~repro.serving.cache.NodeCache` of hot embedding rows
   in front of the fabric, with hit/miss/fill accounting merged into
@@ -40,6 +45,14 @@ from repro.serving.autoscale import (
     shard_slice_bytes,
 )
 from repro.serving.cache import CacheConfig, NodeCache
+from repro.serving.controlplane import (
+    ACTION_CLASSES,
+    AutopilotOps,
+    CandidateCost,
+    ControlDecision,
+    ControlPlane,
+    format_decision,
+)
 from repro.serving.cluster import (
     ClusterNode,
     ClusterResult,
@@ -82,14 +95,19 @@ from repro.serving.simulator import ReferenceSimulator, ServingSimulator
 from repro.serving.workload import ServingScenario, TenantSpec
 
 __all__ = [
+    "ACTION_CLASSES",
+    "AutopilotOps",
     "AutoscaleController",
     "Batcher",
     "CacheAffinityRouter",
     "CacheConfig",
     "CacheStats",
+    "CandidateCost",
     "ClusterNode",
     "ClusterResult",
     "ClusterSimulator",
+    "ControlDecision",
+    "ControlPlane",
     "DeadlineAware",
     "DeviceTimeline",
     "DropLate",
@@ -115,6 +133,7 @@ __all__ = [
     "StreamingMetrics",
     "StreamingSink",
     "TenantSpec",
+    "format_decision",
     "make_policy",
     "make_router",
     "run_kernel",

@@ -69,6 +69,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.sharding import ShardingPlan, replica_nodes
+from repro.serving.signals import Hysteresis, queue_pressure, window_utilization
+
+# The autoscaler governs the fleet as a whole: one hysteresis key, two
+# possible streak targets.
+_FLEET = "fleet"
+_UP = "up"
+_DOWN = "down"
 
 
 def shard_slice_bytes(
@@ -123,9 +130,8 @@ class AutoscaleController:
     of one simulator stay independent and deterministic.
 
     Decision rule, evaluated once per dispatched batch anywhere in the
-    fleet (the cluster feeds every core's ``on_dispatch`` hook here),
-    reusing the :class:`~repro.core.switching.SwitchController`'s signal
-    vocabulary: pressure = the batch's worst member wait (batching fill
+    fleet (the cluster feeds every core's ``on_control_tick`` observer
+    here), reusing the shared :mod:`repro.serving.signals` vocabulary: pressure = the batch's worst member wait (batching fill
     + device queue) / the run SLA, and window saturation as the leading
     surge indicator.
 
@@ -190,10 +196,10 @@ class AutoscaleController:
                 raise ValueError(f"schedule kind must be up/down, got {kind!r}")
             if time_s < 0:
                 raise ValueError("schedule times must be non-negative")
-        self._surge = 0
-        self._calm = 0
-        self._cooldown_until = 0.0
-        self._in_progress = False
+        # Shared thrash control (one fleet-wide key): the up/down streaks,
+        # the in-progress freeze, and the post-operation cooldown all live
+        # in the same Hysteresis the switch controller uses per device.
+        self._hysteresis = Hysteresis()
 
     # ---- lifecycle -------------------------------------------------------
 
@@ -229,40 +235,33 @@ class AutoscaleController:
         the current fleet size (bounds are checked here so a streak at a
         bound neither fires nor resets the evidence it accumulated).
         """
-        if self._in_progress or now < self._cooldown_until:
+        if self._hysteresis.blocked(_FLEET, now):
             return None
-        pressure = wait_s / sla_s
-        timeout_s = core.batcher.timeout_s
-        # Window utilization: service of the window's batch against the
-        # window itself — >= 1 means this node cannot drain what one
-        # flush window admits.  Only meaningful when the path can serve a
-        # singleton within the window at all (a path whose floor latency
-        # exceeds the timeout would read as saturated forever); outside
-        # that regime the queue/wait pressures are the only trustworthy
-        # signals and util drops out of both branches.
-        util = 0.0
-        if timeout_s > 0 and path.latency(1) < timeout_s:
-            util = path.latency(max(1, batch_size)) / timeout_s
+        pressure = queue_pressure(wait_s, sla_s)
+        # Window utilization with the floor guard: a path whose singleton
+        # latency already exceeds the timeout would read as saturated
+        # forever, so there the wait/queue pressures are the only
+        # trustworthy signals and util drops out of both branches.
+        util = window_utilization(
+            path, batch_size, core.batcher.timeout_s, floor_guard=True
+        )
         if pressure >= self.hi_pressure or util >= self.util_hi:
-            self._calm = 0
-            self._surge += 1
-            if self._surge >= self.patience and n_members < self.max_nodes:
-                self._surge = 0
-                self._in_progress = True
+            # Bounds are checked after the vote so a streak at the fleet
+            # ceiling neither fires nor loses the evidence it accumulated.
+            streak = self._hysteresis.vote(_FLEET, _UP)
+            if streak >= self.patience and n_members < self.max_nodes:
+                self._hysteresis.begin(_FLEET)
                 return "up"
-        elif queue_s / sla_s <= self.lo_pressure and (
+        elif queue_pressure(queue_s, sla_s) <= self.lo_pressure and (
             n_members <= 1
             or util * n_members / (n_members - 1) <= self.util_lo
         ):
-            self._surge = 0
-            self._calm += 1
-            if self._calm >= self.patience_down and n_members > self.min_nodes:
-                self._calm = 0
-                self._in_progress = True
+            streak = self._hysteresis.vote(_FLEET, _DOWN)
+            if streak >= self.patience_down and n_members > self.min_nodes:
+                self._hysteresis.begin(_FLEET)
                 return "down"
         else:
-            self._surge = 0
-            self._calm = 0
+            self._hysteresis.clear(_FLEET)
         return None
 
     # ---- cluster callbacks -----------------------------------------------
@@ -270,16 +269,13 @@ class AutoscaleController:
     def on_scale_started(self) -> None:
         """A forced (scheduled) operation is executing: freeze decisions
         until it completes, exactly as a pressure-driven one would."""
-        self._in_progress = True
+        self._hysteresis.begin(_FLEET)
 
     def on_scale_complete(self, now: float, event: ScaleEvent) -> None:
         """The operation's handoff finished: record it, reset the
         evidence, and arm the cooldown."""
         self.events.append(event)
-        self._in_progress = False
-        self._surge = 0
-        self._calm = 0
-        self._cooldown_until = now + self.cooldown_s
+        self._hysteresis.complete(_FLEET, now, self.cooldown_s)
 
     @property
     def total_warm_s(self) -> float:

@@ -304,6 +304,34 @@ class NodeCache:
         self.stats.warm_bytes += warmed_bytes
         return warmed_bytes
 
+    def predict_warm(
+        self, label: str, groups: list[int]
+    ) -> tuple[int, float]:
+        """What :meth:`warm` *would* provision, without mutating anything:
+        ``(bytes, affinity_gain)``, where affinity_gain is the mean
+        hit-rate increase across ``groups``.  The control plane prices its
+        re-warm candidate from this preview — the fabric window from the
+        bytes, predicted miss relief from the gain — and only commits
+        the mutation when the candidate wins arbitration."""
+        if not groups:
+            return 0, 0.0
+        state = self._labels.get(label)
+        quota = min(self.config.capacity_entries // len(groups), self.hot_rows)
+        total = self._total
+        warmed = 0
+        gain = 0.0
+        for group in groups:
+            resident = state.resident[group] if state else 0
+            free = self.config.capacity_entries - total
+            grown = min(max(0, quota - resident), free)
+            total += grown
+            warmed += grown
+            gain += float(
+                self._cdf[min(resident + grown, self.hot_rows)]
+                - self._cdf[min(resident, self.hot_rows)]
+            )
+        return warmed * self.config.row_bytes, gain / len(groups)
+
     def rewarm(self, old_label: str, new_label: str) -> int:
         """A representation switch retired ``old_label``: its entries are
         stale (they hold the old representation's vectors) and the same

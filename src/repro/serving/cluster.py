@@ -83,6 +83,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.analysis.sharding import ShardingPlan, greedy_shard, replica_nodes
 from repro.core.online import Scheduler
@@ -94,6 +95,11 @@ from repro.hardware.topology import (
 )
 from repro.serving.autoscale import AutoscaleController, ScaleEvent, shard_slice_bytes
 from repro.serving.cache import CacheConfig, NodeCache
+from repro.serving.controlplane import (
+    AutopilotOps,
+    ControlDecision,
+    ControlPlane,
+)
 from repro.serving.engine import (
     ARRIVAL,
     CONTROL,
@@ -106,7 +112,11 @@ from repro.serving.engine import (
 from repro.serving.metrics import CacheStats, ServingResult, StreamingMetrics
 from repro.serving.policies import ShedPolicy, make_policy
 from repro.serving.routing import Router, make_router
+from repro.serving.signals import ExclusionWindow, miss_penalty_s
 from repro.serving.workload import ServingScenario
+
+if TYPE_CHECKING:  # importing SwitchEvent at runtime would close a cycle
+    from repro.core.switching import SwitchEvent
 
 # A cluster node *is* an engine core; the name is kept for the router API
 # and for callers of the PR-2 interface.
@@ -223,8 +233,16 @@ class ClusterResult:
     scale_downs: int = 0  # autoscaling drains completed
     handoff_overhead_s: float = 0.0  # device time blocked by shard warms
     scale_events: list[ScaleEvent] = field(default_factory=list)
+    # Every representation switch across the fleet, time-ordered — with
+    # ``scale_events`` this is the full control timeline a race between
+    # mechanisms would show up in (tests pin the interlock against it).
+    switch_events: list[SwitchEvent] = field(default_factory=list)
     # Fleet-merged MP-Cache tier accounting (None when the tier is off).
     cache: CacheStats | None = None
+    # The autopilot's decision trace — every committed action with the
+    # predicted costs of everything it beat (empty without a
+    # :class:`~repro.serving.controlplane.ControlPlane`).
+    control_decisions: list[ControlDecision] = field(default_factory=list)
 
     @property
     def fleet_energy_j(self) -> float:
@@ -258,6 +276,8 @@ class ClusterResult:
             )
         if self.cache is not None:
             merged.update(self.cache.summary())
+        if self.control_decisions:
+            merged.update(control_actions=len(self.control_decisions))
         return merged
 
 
@@ -292,6 +312,16 @@ class ClusterSimulator:
     exclusive — a failure breaks the membership-prefix invariant the
     epoch shard maps index by.
 
+    ``controlplane``: optional :class:`~repro.serving.controlplane.
+    ControlPlane` — the unified SLO autopilot.  Mutually exclusive with
+    ``autoscale`` (the plane *subsumes* the autoscaler: scale is one of
+    its action classes), subject to the same plan-sizing/failure/
+    replication rules, and composable with ``switch_controller`` (the
+    plane arbitrates, the controller executes and prices) and the cache
+    tier (re-warm and cache-affinity re-routing become candidate
+    actions).  The run's decision trace lands in
+    :attr:`ClusterResult.control_decisions`.
+
     ``cache_bytes`` / ``cache_policy`` / ``cache_alpha`` /
     ``cache_hot_rows``: the per-node MP-Cache tier.  ``cache_bytes > 0``
     gives every node a :class:`~repro.serving.cache.NodeCache` of that
@@ -319,6 +349,7 @@ class ClusterSimulator:
         track_energy: bool = True,
         switch_controller=None,
         autoscale: AutoscaleController | None = None,
+        controlplane: ControlPlane | None = None,
         cache_bytes: int = 0,
         cache_policy: str = "lru",
         cache_alpha: float = 1.05,
@@ -342,21 +373,30 @@ class ClusterSimulator:
                 )
         if fail_at is not None and not 0 <= fail_node < n_nodes:
             raise ValueError("fail_node out of range")
-        if autoscale is not None:
-            if autoscale.max_nodes != n_nodes:
+        if controlplane is not None and autoscale is not None:
+            raise ValueError(
+                "pass either controlplane or autoscale, not both — the "
+                "autopilot subsumes the autoscaler (scale is one of its "
+                "action classes)"
+            )
+        elastic = controlplane if controlplane is not None else autoscale
+        if elastic is not None:
+            kind = "controlplane" if controlplane is not None else "autoscale"
+            if elastic.max_nodes != n_nodes:
                 raise ValueError(
                     f"the sharding plan is sized for {n_nodes} nodes but "
-                    f"autoscale.max_nodes is {autoscale.max_nodes}; build "
+                    f"{kind}.max_nodes is {elastic.max_nodes}; build "
                     "the plan for the fleet ceiling"
                 )
             if fail_at is not None:
                 raise ValueError(
-                    "autoscaling and failure injection cannot be combined"
+                    "elastic membership and failure injection cannot be "
+                    "combined"
                 )
-            if replication > autoscale.min_nodes:
+            if replication > elastic.min_nodes:
                 raise ValueError(
-                    f"replication {replication} exceeds autoscale.min_nodes "
-                    f"{autoscale.min_nodes}; every epoch must fit its chains"
+                    f"replication {replication} exceeds {kind}.min_nodes "
+                    f"{elastic.min_nodes}; every epoch must fit its chains"
                 )
         if cache_bytes < 0:
             raise ValueError("cache_bytes must be non-negative")
@@ -405,6 +445,7 @@ class ClusterSimulator:
         self.track_energy = track_energy
         self.switch_controller = switch_controller
         self.autoscale = autoscale
+        self.controlplane = controlplane
         self.scheduler_name = schedulers[0].name
         # Epoch cache: k-member (plan, shard map) pairs are deterministic
         # functions of the ceiling plan, shared across runs.
@@ -432,7 +473,9 @@ class ClusterSimulator:
         """A fresh node cache keyed to a ``k``-member epoch's groups."""
         return self.cache_config.build(k, self._hot_rows_per_group(k))
 
-    def _make_cores(self, state: "_RunState", on_dispatch=None) -> list[EngineCore]:
+    def _make_cores(
+        self, state: "_RunState", on_control_tick=None, on_switch_extra=None
+    ) -> list[EngineCore]:
         # The exchange hook closes over this run's state (membership and
         # the current epoch's shard map) — per-run state stays in the
         # run, keeping the simulator reentrant.
@@ -440,18 +483,29 @@ class ClusterSimulator:
             return self._exchange_s(core, batch, path, state)
 
         commit = None
-        on_switch = None
+        rewarm_after = None
         if self.cache_config is not None:
             def commit(core, batch, path):
                 self._cache_batch(core, batch, path, state, commit=True)
 
             if self.switch_controller is not None:
-                def on_switch(core, device, now):
-                    self._rewarm_after_switch(core, device, now)
+                rewarm_after = self._rewarm_after_switch
+        # ``on_switch_extra`` is the control plane's completion relay;
+        # the cache re-warm (which extends the blocked window) runs
+        # first so the plane observes the switch at its priced close.
+        if on_switch_extra is None:
+            on_switch = rewarm_after
+        elif rewarm_after is None:
+            on_switch = on_switch_extra
+        else:
+            def on_switch(core, device, now):
+                rewarm_after(core, device, now)
+                on_switch_extra(core, device, now)
 
+        elastic = self.controlplane or self.autoscale
         k_groups = (
-            self.autoscale.initial_nodes
-            if self.autoscale is not None
+            elastic.initial_nodes
+            if elastic is not None
             else self.plan.n_nodes
         )
         cores = []
@@ -491,7 +545,7 @@ class ClusterSimulator:
                     service_extra=exchange,
                     service_commit=commit,
                     switcher=switcher,
-                    on_dispatch=on_dispatch,
+                    on_control_tick=on_control_tick,
                     on_switch=on_switch,
                     cache=cache,
                 )
@@ -520,17 +574,21 @@ class ClusterSimulator:
 
     def _simulate(self, scenario: ServingScenario, sink) -> ClusterResult:
         n_total = len(self.schedulers)
-        controller = self.autoscale.clone() if self.autoscale else None
+        plane = self.controlplane.clone() if self.controlplane else None
+        controller = (
+            plane if plane is not None
+            else self.autoscale.clone() if self.autoscale else None
+        )
         k0 = controller.initial_nodes if controller else n_total
         state = _RunState(self._epoch(k0)[1], list(range(k0)))
-        router = make_router(
+        state.router = make_router(
             self._router_spec, shard_map=state.shard_map, link=self.link
         )
-        router.reset()
+        state.router.reset()
         cluster = ClusterResult(
             result=sink.result,
             n_nodes=n_total,
-            router=router.name,
+            router=state.router.name,
             replication=self.shard_map.replication,
             per_node_served=[0] * n_total,
             per_node_dropped=[0] * n_total,
@@ -550,19 +608,54 @@ class ClusterSimulator:
         # node indexing sound).
         pending_join: dict | None = None
 
-        def observe(core, path, wait_s, queue_s, batch_size, batch_queries,
-                    now, loop):
+        # Cross-mechanism interlock (the switch/scale race fix): a
+        # committed scale operation suppresses switch evaluation until
+        # its warm window (or drain cooldown) closes, and a committed
+        # switch suppresses scale evaluation until the device serves
+        # again — a controller reacting to the queue spike the *other*
+        # mechanism induced would thrash at marginal operating points.
+        excl = ExclusionWindow()
+
+        def control_tick(core, tick):
+            # Stacked-but-independent PR-3/4/5 controllers behind the
+            # kernel's single observer: switch first (the PR-3 hook ran
+            # first historically), then the fleet controller.
+            if core.switcher is not None and not excl.blocked(
+                "switch", tick.now
+            ):
+                before = len(core.switcher.events)
+                core.switcher.on_tick(core, tick)
+                if len(core.switcher.events) > before:
+                    excl.acquire(
+                        "switch", core.switcher.events[-1].ready_s
+                    )
+            if controller is None or excl.blocked("scale", tick.now):
+                return
             decision = controller.observe(
-                core, path, wait_s, queue_s, batch_size, batch_queries,
-                scenario.sla_s, len(state.members), now,
+                core, tick.path, tick.wait_s, tick.queue_s,
+                tick.batch_size, tick.batch_queries, scenario.sla_s,
+                len(state.members), tick.now,
             )
             if decision == "up":
-                start_scale_up(now, loop)
+                start_scale_up(tick.now, tick.loop)
+                excl.acquire("scale", pending_join["ready_s"])
             elif decision == "down":
-                scale_down(now, loop)
+                scale_down(tick.now, tick.loop)
+                # A drain has no warm window; hold the interlock for the
+                # controller's own cooldown so a switch cannot fire into
+                # the survivors' inherited-load spike.
+                excl.acquire("scale", tick.now + controller.cooldown_s)
 
+        if plane is not None:
+            # Autopilot mode: the plane IS the single observer (the
+            # stacked path and its exclusion window never run), and the
+            # switch-completion relay releases its fleet hysteresis.
+            on_tick, on_switch_extra = plane.on_tick, plane.on_switch_complete
+        else:
+            on_tick = control_tick if controller else None
+            on_switch_extra = None
         cores = self._make_cores(
-            state, on_dispatch=observe if controller else None
+            state, on_control_tick=on_tick, on_switch_extra=on_switch_extra
         )
         for core in cores[k0:]:
             core.alive = False  # powered off until a scale-up joins them
@@ -624,7 +717,7 @@ class ClusterSimulator:
                 core.cache = join["cache"]
             state.active.append(core)
             state.shard_map = join["map"]
-            router.update_shard_map(state.shard_map)
+            state.router.update_shard_map(state.shard_map)
             activated_at[node] = now
             cluster.scale_ups += 1
             cluster.handoff_overhead_s += join["warm_s"]
@@ -642,7 +735,7 @@ class ClusterSimulator:
             core = cores[node]
             state.active.remove(core)
             state.shard_map = self._epoch(len(state.members))[1]
-            router.update_shard_map(state.shard_map)
+            state.router.update_shard_map(state.shard_map)
             donated_bytes = 0
             if core.cache is not None:
                 # The drain donates its hot set: survivors absorb an even
@@ -684,7 +777,7 @@ class ClusterSimulator:
                 drop_query(sink, query, scenario.sla_for(query))
                 cluster.edge_drops += 1
                 return None
-            core = router.select_node(query, now, candidates)
+            core = state.router.select_node(query, now, candidates)
             if query.index in reinjected:
                 reinjected.discard(query.index)
                 cluster.rerouted += 1
@@ -732,12 +825,25 @@ class ClusterSimulator:
                 # instant it is guaranteed to have completed.
                 loop.push(pending_join["ready_s"], CONTROL, payload)
                 return
+            # A forced membership change perturbs the fleet exactly like
+            # a reactive one: it must hold the same interlock, or the
+            # switch controller reads the join's warm-window queue spike
+            # as switch evidence (the race the interlock exists to fix).
             if op == "up" and len(state.members) < controller.max_nodes:
                 controller.on_scale_started()
                 start_scale_up(now, loop)
+                excl.acquire("scale", pending_join["ready_s"])
             elif op == "down" and len(state.members) > controller.min_nodes:
                 controller.on_scale_started()
                 scale_down(now, loop)
+                excl.acquire("scale", now + controller.cooldown_s)
+
+        if plane is not None:
+            plane.begin_run(
+                self._autopilot_ops(
+                    scenario, state, cores, start_scale_up, scale_down
+                )
+            )
 
         extra_events: list[tuple] = []
         if self.fail_at is not None:
@@ -765,11 +871,132 @@ class ClusterSimulator:
             if core.switcher is not None:
                 cluster.switches += len(core.switcher.events)
                 cluster.switch_overhead_s += core.switcher.total_overhead_s
+                cluster.switch_events.extend(core.switcher.events)
             if cluster.cache is not None and core.cache is not None:
                 cluster.cache.merge(core.cache.stats)
+        cluster.switch_events.sort(key=lambda e: e.time_s)
+        # A mid-run reroute changes the installed policy; report what the
+        # fleet ended on, and ship the autopilot's decision trace.
+        cluster.router = state.router.name
+        if plane is not None:
+            cluster.control_decisions = plane.decisions
         return cluster
 
     # ---- helpers ---------------------------------------------------------
+
+    def _autopilot_ops(
+        self, scenario, state: "_RunState", cores, start_scale_up, scale_down
+    ) -> AutopilotOps:
+        """The executor surface the autopilot prices and drives — the
+        cluster's own machinery, closed over this run's state.
+
+        Predictions reuse the exact pricing the executors charge: a
+        join's warm window is the same shard-slice + cache-warm transfer
+        :meth:`_simulate`'s ``start_scale_up`` blocks the joining node
+        for (memoized per membership count — it is deterministic), a
+        re-warm's window is what :meth:`~repro.serving.cache.NodeCache.
+        warm` would actually move, and a reroute's saving prices each
+        policy's expected hot-miss fabric penalty with the same
+        :func:`~repro.serving.signals.miss_penalty_s` the
+        cache-affinity router scores candidates by (ownership for
+        placement-aware policies, residency credit for
+        ``"cache-affinity"``, the fleet mean for blind ones)."""
+        n_total = len(cores)
+        route_names = ["round-robin", "least-loaded", "locality"]
+        if self.cache_config is not None:
+            route_names.append("cache-affinity")
+        join_warm_s: dict[int, float] = {}
+
+        def predict_join_warm_s():
+            node = len(state.members)
+            if node >= n_total:
+                return 0.0
+            warm = join_warm_s.get(node)
+            if warm is None:
+                next_plan, next_map = self._epoch(node + 1)
+                warm_bytes = shard_slice_bytes(
+                    next_plan, node, self.shard_map.replication
+                )
+                if self.cache_config is not None:
+                    cache_bytes, _ = self._build_cache(node + 1).predict_warm(
+                        cores[node].scheduler.paths[0].label,
+                        _cached_groups(node, next_map),
+                    )
+                    warm_bytes += cache_bytes
+                warm = join_warm_s[node] = self.link.transfer_time(warm_bytes)
+            return warm
+
+        def route_miss_s(name):
+            shard_map = state.shard_map
+            if not state.active:
+                return 0.0
+            hot_bytes = shard_map.hot_fraction * shard_map.bytes_per_sample
+            placement_aware = name in ("locality", "cache-affinity")
+            total = 0.0
+            for group in range(shard_map.n_nodes):
+                affinities = []
+                for member in state.active:
+                    if member.node_id in shard_map.owners[group]:
+                        affinities.append(1.0)
+                    elif name == "cache-affinity" and member.cache is not None:
+                        affinities.append(member.cache.affinity(group))
+                    else:
+                        affinities.append(0.0)
+                affinity = (
+                    max(affinities) if placement_aware
+                    else sum(affinities) / len(affinities)
+                )
+                total += miss_penalty_s(affinity, hot_bytes, self.link)
+            return total / shard_map.n_nodes
+
+        def set_router(name):
+            state.router = make_router(
+                name, shard_map=state.shard_map, link=self.link
+            )
+            state.router.reset()
+
+        def predict_rewarm(core, label):
+            warm_bytes, gain = core.cache.predict_warm(
+                label, _cached_groups(core.node_id, state.shard_map)
+            )
+            if not warm_bytes:
+                return 0.0, gain
+            return self.link.transfer_time(warm_bytes), gain
+
+        def rewarm(core, label, now):
+            warmed_bytes = core.cache.warm(
+                label, _cached_groups(core.node_id, state.shard_map)
+            )
+            if not warmed_bytes:
+                return now
+            # Priced exactly like the post-switch re-warm: the fill
+            # rides the fabric and blocks the node's devices.
+            warm_s = self.link.transfer_time(warmed_bytes)
+            core.cache.stats.rewarm_s += warm_s
+            ready = now
+            for device in core.timeline.free_at:
+                ready = max(ready, core.timeline.block(device, now, warm_s))
+            return ready
+
+        return AutopilotOps(
+            sla_s=scenario.sla_s,
+            n_members=lambda: len(state.members),
+            active_cores=lambda: list(state.active),
+            # The marginal node's idle draw (homogeneous fleets make the
+            # choice moot; heterogeneous ones price the next join).
+            idle_w=lambda: _node_idle_w(
+                cores[min(len(state.members), n_total - 1)]
+            ),
+            predict_join_warm_s=predict_join_warm_s,
+            start_scale_up=start_scale_up,
+            scale_down=scale_down,
+            router_name=lambda: state.router.name,
+            route_candidates=lambda: tuple(route_names),
+            route_miss_s=route_miss_s,
+            set_router=set_router,
+            predict_rewarm=predict_rewarm,
+            rewarm=rewarm,
+        )
 
     def _exchange_s(
         self, core: EngineCore, batch, path, state: "_RunState"
@@ -869,15 +1096,17 @@ class ClusterSimulator:
 class _RunState:
     """Mutable per-run cluster state the kernel hooks close over: the
     current epoch's shard map, the member ids (always a prefix), the
-    routable cores, and each core's most recent previewed cache splits
-    (pending until the dispatch commits them)."""
+    routable cores, the installed router (mutable — the autopilot's
+    reroute action swaps it mid-run), and each core's most recent
+    previewed cache splits (pending until the dispatch commits them)."""
 
-    __slots__ = ("shard_map", "members", "active", "pending_cache")
+    __slots__ = ("shard_map", "members", "active", "router", "pending_cache")
 
     def __init__(self, shard_map: ShardMap, members: list[int]) -> None:
         self.shard_map = shard_map
         self.members = members
         self.active: list[EngineCore] = []
+        self.router: Router | None = None
         self.pending_cache: dict[int, tuple] = {}
 
 

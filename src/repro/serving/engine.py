@@ -268,6 +268,42 @@ class _InFlight:
         self.energy_j = energy_j
 
 
+class ControlTick:
+    """One dispatched batch's control-plane observation.
+
+    The kernel emits exactly one of these per dispatch — including fully
+    shed batches, whose pressure is the strongest overload evidence there
+    is — and hands it to the core's single ``on_control_tick`` observer.
+    Every controller in the repo (switch, autoscale, the unified control
+    plane) reads load from this record and nothing else, so the signals
+    cannot drift between them.
+
+    ``wait_s`` is the batch's worst member wait (batching fill + device
+    queue — what its oldest member endured); ``queue_s`` the device-queue
+    component alone; ``extra_s`` the per-batch service cost the node
+    cannot see locally (the cluster's fabric exchange + cache split; 0.0
+    single-node).  ``batch_size`` counts samples, ``batch_queries`` the
+    queries that carried them.
+    """
+
+    __slots__ = (
+        "path", "wait_s", "queue_s", "extra_s", "batch_size",
+        "batch_queries", "now", "loop", "scenario",
+    )
+
+    def __init__(self, path, wait_s, queue_s, extra_s, batch_size,
+                 batch_queries, now, loop, scenario) -> None:
+        self.path = path
+        self.wait_s = wait_s
+        self.queue_s = queue_s
+        self.extra_s = extra_s
+        self.batch_size = batch_size
+        self.batch_queries = batch_queries
+        self.now = now
+        self.loop = loop
+        self.scenario = scenario
+
+
 # ---- the kernel ----------------------------------------------------------
 
 
@@ -283,18 +319,24 @@ class EngineCore:
     stateful per-batch accounting (the cluster's cache fills) belongs.
     ``defer_commit`` moves outcome commit from dispatch to the finish
     event so a failure can invalidate in-flight batches; ``switcher`` is
-    an optional :class:`~repro.core.switching.SwitchController` observing
-    dispatches, and ``on_switch(core, device, now)`` fires after a switch
-    window completes (the cluster invalidates and re-warms the node's
-    cache there); ``cache`` is an optional per-node
-    :class:`~repro.serving.cache.NodeCache` — the kernel only carries it
-    so routers and cluster hooks can reach it through the core.
-    ``on_dispatch(core, path, wait_s, queue_s, batch_size, batch_queries,
-    now, loop)`` is a generic dispatch observer (the cluster feeds it to
-    the :class:`~repro.serving.autoscale.AutoscaleController` as its
-    fleet-pressure signal) — ``wait_s`` is the batch's worst member wait
-    (batching fill + device queue), ``queue_s`` the device-queue
-    component alone.
+    an optional :class:`~repro.core.switching.SwitchController` enabling
+    runtime representation switching, and ``on_switch(core, device,
+    now)`` fires after a switch window completes (the cluster invalidates
+    and re-warms the node's cache there); ``cache`` is an optional
+    per-node :class:`~repro.serving.cache.NodeCache` — the kernel only
+    carries it so routers and cluster hooks can reach it through the
+    core.
+
+    ``on_control_tick(core, tick)`` is the kernel's *single* control
+    observer: one :class:`ControlTick` per dispatched batch, shed or
+    served.  It replaces the PR 3-5 pattern of per-controller hooks
+    (``switcher.observe`` + ``on_dispatch``) — a façade installs exactly
+    one handler and fans out inside it (the cluster stacks switch +
+    autoscale behind a shared exclusion window, or hands the tick to the
+    unified :class:`~repro.serving.controlplane.ControlPlane`).  When no
+    handler is given and a ``switcher`` is, the switcher's own
+    :meth:`~repro.core.switching.SwitchController.on_tick` is wired by
+    default, so single-node switching needs no extra plumbing.
 
     The attributes routers key on — ``node_id``, ``inflight_queries``,
     ``alive``, ``full``, ``earliest_free_delay`` — live here, so a core
@@ -304,8 +346,8 @@ class EngineCore:
     __slots__ = (
         "node_id", "scheduler", "policy", "batcher", "timeline", "max_queue",
         "track_energy", "defer_commit", "service_extra", "service_commit",
-        "switcher", "on_dispatch", "on_switch", "cache", "alive", "in_flight",
-        "inflight_queries", "served", "shed",
+        "switcher", "on_control_tick", "on_switch", "cache", "alive",
+        "in_flight", "inflight_queries", "served", "shed",
     )
 
     def __init__(
@@ -322,7 +364,7 @@ class EngineCore:
         service_extra=None,
         service_commit=None,
         switcher=None,
-        on_dispatch=None,
+        on_control_tick=None,
         on_switch=None,
         cache=None,
     ) -> None:
@@ -339,7 +381,12 @@ class EngineCore:
         self.service_extra = service_extra
         self.service_commit = service_commit
         self.switcher = switcher
-        self.on_dispatch = on_dispatch
+        if on_control_tick is None and switcher is not None:
+            # Default wiring: a lone switch controller is its own control
+            # plane — the single-node façade (and direct EngineCore users)
+            # get PR-3 switching without installing a handler.
+            on_control_tick = switcher.on_tick
+        self.on_control_tick = on_control_tick
         self.on_switch = on_switch
         self.cache = cache
         self.alive = True
@@ -434,21 +481,16 @@ class EngineCore:
             decision.service_s + extra_s, scenario, on_shed,
         )
         if not admitted:
-            if self.switcher is not None:
+            if self.on_control_tick is not None:
                 # A fully-shed batch is the strongest overload evidence
-                # there is; the controller must still see its pressure or
+                # there is; the controllers must still see its pressure or
                 # a drowning device could never surge to a faster
-                # representation.
-                self.switcher.observe(
-                    self, path, projected_start - batch[0].arrival_s,
-                    total_size, scenario, now, loop,
-                    batch_queries=len(batch),
-                )
-            if self.on_dispatch is not None:
-                self.on_dispatch(
-                    self, path, projected_start - batch[0].arrival_s,
-                    projected_start - now, total_size, len(batch), now, loop,
-                )
+                # representation (or a bigger fleet).
+                self.on_control_tick(self, ControlTick(
+                    path, projected_start - batch[0].arrival_s,
+                    projected_start - now, extra_s, total_size, len(batch),
+                    now, loop, scenario,
+                ))
             return
 
         admitted_size = total_size
@@ -492,19 +534,14 @@ class EngineCore:
             for outcome in outcomes:
                 sink.observe(*outcome)
             self.in_flight[seq] = _InFlight(admitted, (), batch_energy)
-        if self.switcher is not None:
+        if self.on_control_tick is not None:
             # Pressure signal: the batch's worst queueing delay (batching
             # fill + device queue), i.e. what its oldest member endured.
-            self.switcher.observe(
-                self, path, projected_start - admitted[0].arrival_s,
-                admitted_size, scenario, now, loop,
-                batch_queries=len(admitted),
-            )
-        if self.on_dispatch is not None:
-            self.on_dispatch(
-                self, path, projected_start - admitted[0].arrival_s,
-                projected_start - now, admitted_size, len(admitted), now, loop,
-            )
+            self.on_control_tick(self, ControlTick(
+                path, projected_start - admitted[0].arrival_s,
+                projected_start - now, extra_s, admitted_size, len(admitted),
+                now, loop, scenario,
+            ))
 
     # ---- failure / membership support ------------------------------------
 

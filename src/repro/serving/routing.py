@@ -39,6 +39,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
+from repro.serving.signals import miss_penalty_s
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports us)
     from repro.data.queries import Query
     from repro.hardware.topology import LinkSpec
@@ -183,8 +185,11 @@ class CacheAffinityRouter(Router):
         )
 
         def cost(node: "ClusterNode") -> tuple:
-            miss_s = (1.0 - self._affinity(node, group)) * (
-                hot_bytes / self.link.bandwidth
+            # Queue delay + fabric miss penalty — the shared signal
+            # vocabulary (repro.serving.signals), also what the control
+            # plane's reroute predictions price.
+            miss_s = miss_penalty_s(
+                self._affinity(node, group), hot_bytes, self.link
             )
             return (
                 node.earliest_free_delay(now) + miss_s,

@@ -168,7 +168,7 @@ class TestControllerDecision:
         self.observe(ctl, hot, hot)
         clone = ctl.clone()
         assert clone.patience == ctl.patience
-        assert clone._surge == 0 and not clone.events
+        assert not clone._hysteresis._streaks and not clone.events
 
 
 class TestShardSliceBytes:

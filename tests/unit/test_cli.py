@@ -167,6 +167,66 @@ class TestCommands:
         assert code == 2
         assert "single-node" in capsys.readouterr().err
 
+    def test_serve_autopilot(self, capsys):
+        code = main([
+            "serve", "--dataset", "kaggle", "--queries", "400", "--qps",
+            "30000", "--autopilot", "--nodes", "4", "--min-nodes", "2",
+            "--replication", "2", "--max-batch", "8",
+            "--batch-timeout-ms", "1", "--trace-decisions", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "autopilot fleet        : 2..4 nodes" in out
+        assert "control decisions" in out and "node-seconds" in out
+
+    def test_serve_autopilot_flag_hygiene(self, capsys):
+        # The autopilot subsumes the stand-alone controllers.
+        code = main([
+            "serve", "--autopilot", "--switching", "--nodes", "2",
+            "--queries", "10",
+        ])
+        assert code == 2
+        assert "subsumes --switching" in capsys.readouterr().err
+        code = main([
+            "serve", "--autopilot", "--autoscale", "--nodes", "2",
+            "--queries", "10",
+        ])
+        assert code == 2
+        assert "subsumes --autoscale" in capsys.readouterr().err
+        # It builds its own switching deployment; a forced scheduler
+        # contradicts that.
+        code = main([
+            "serve", "--autopilot", "--nodes", "2", "--scheduler",
+            "table-cpu", "--queries", "10",
+        ])
+        assert code == 2
+        assert "--autopilot" in capsys.readouterr().err
+        # Per-mechanism cooldowns tune the stand-alone controllers, not
+        # the shared one.
+        code = main([
+            "serve", "--autopilot", "--nodes", "2", "--switch-cooldown",
+            "100", "--queries", "10",
+        ])
+        assert code == 2
+        assert "cooldown" in capsys.readouterr().err
+        # The trace length is meaningless without a decision trace.
+        code = main(["serve", "--trace-decisions", "4", "--queries", "10"])
+        assert code == 2
+        assert "--trace-decisions requires --autopilot" in (
+            capsys.readouterr().err
+        )
+        # A 1-node "fleet" and the failure drill are rejected like
+        # --autoscale.
+        code = main(["serve", "--autopilot", "--queries", "10"])
+        assert code == 2
+        assert "--nodes" in capsys.readouterr().err
+        code = main([
+            "serve", "--autopilot", "--nodes", "4", "--fail-at", "0.1",
+            "--queries", "10",
+        ])
+        assert code == 2
+        assert "--fail-at" in capsys.readouterr().err
+
     def test_serve_cluster_cache(self, capsys):
         code = main([
             "serve", "--dataset", "kaggle", "--queries", "200", "--qps",
