@@ -14,7 +14,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench-smoke perf-smoke lint check examples-smoke docs-check \
-	docstrings-check profile
+	docstrings-check profile profile-fast
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -53,6 +53,14 @@ docs-check:
 profile:
 	$(PYTHON) -m cProfile -s cumtime -m repro serve \
 		--queries 20000 --qps 20000 --max-batch 64 --batch-timeout-ms 2 \
+		| head -45
+
+# The array fast path at scale (one order of magnitude more queries than
+# `make profile` — the vectorized engine makes that the interesting regime).
+profile-fast:
+	$(PYTHON) -m cProfile -s cumtime -m repro serve \
+		--fastpath --streaming --queries 1000000 --qps 24000 \
+		--max-batch 256 --batch-timeout-ms 4 --shed-policy deadline-aware \
 		| head -45
 
 check: lint docstrings-check test bench-smoke perf-smoke docs-check examples-smoke

@@ -97,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="constant-memory metrics (for very large --queries)",
     )
     serve.add_argument(
+        "--fastpath", action="store_true",
+        help="vectorized array engine: record-identical to the event "
+             "kernel, an order of magnitude faster (single-node only; "
+             "pairs well with --streaming for 10M+ query days)",
+    )
+    serve.add_argument(
         "--switching", action="store_true",
         help="runtime representation switching: one resident representation "
              "per device, swapped as load shifts (Fig 15 overhead charged)",
@@ -232,6 +238,21 @@ def cmd_serve(args) -> int:
 
     config = _datasets()[args.dataset]
     # Pure flag checks run before the (potentially huge) workload is built.
+    if args.fastpath:
+        event_only = [
+            ("--switching", args.switching),
+            ("--autoscale", args.autoscale),
+            ("--autopilot", args.autopilot),
+            ("--nodes > 1", args.nodes > 1),
+        ]
+        offending = [flag for flag, used in event_only if used]
+        if offending:
+            print(
+                f"error: --fastpath is the single-node array engine; "
+                f"{', '.join(offending)} require(s) the event kernel",
+                file=sys.stderr,
+            )
+            return 2
     if args.autopilot:
         if args.switching:
             print(
@@ -411,9 +432,12 @@ def cmd_serve(args) -> int:
         shed_policy=args.shed_policy, max_batch_size=args.max_batch,
         batch_timeout_s=args.batch_timeout_ms / 1e3,
         streaming=args.streaming,
+        engine="fast" if args.fastpath else "event",
     )
     result = results[args.scheduler]
     print(f"scheduler              : {args.scheduler}")
+    print(f"engine                 : "
+          f"{'fast (array path)' if args.fastpath else 'event kernel'}")
     print(f"correct predictions/s  : {result.correct_prediction_throughput:,.0f}")
     print(f"raw samples/s          : {result.raw_throughput:,.0f}")
     print(f"served accuracy        : {result.mean_accuracy:.3f}%")

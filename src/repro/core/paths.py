@@ -46,6 +46,24 @@ class PathProfile:
             np.interp(math.log(query_size), self._log_sizes, self._log_latencies)
         )
 
+    def latency_many(self, query_sizes) -> np.ndarray:
+        """Vectorized :meth:`latency`, bit-equal to the per-size scalar calls.
+
+        The interpolation runs as one array pass; the final exponential
+        stays ``math.exp`` per element because ``np.exp`` rounds the last
+        ulp differently on some libms, and the fast path's record-for-record
+        parity with the event kernel rides on exact float equality.
+        """
+        sizes = np.asarray(query_sizes, dtype=np.float64)
+        if sizes.size and sizes.min() <= 0:
+            raise ValueError("query_size must be positive")
+        interp = np.interp(
+            np.log(sizes), self._log_sizes, self._log_latencies
+        )
+        return np.fromiter(
+            map(math.exp, interp.tolist()), np.float64, count=sizes.size
+        )
+
     def throughput(self, query_size: float) -> float:
         """Samples/second when saturating the device with this query size."""
         return query_size / self.latency(query_size)
@@ -77,6 +95,10 @@ class ExecutionPath:
     def latency(self, query_size: int) -> float:
         """Profiled service latency at ``query_size`` samples."""
         return self.profile.latency(query_size)
+
+    def latency_many(self, query_sizes) -> np.ndarray:
+        """Vectorized :meth:`latency` (bit-equal to the scalar calls)."""
+        return self.profile.latency_many(query_sizes)
 
     def __repr__(self) -> str:
         return f"ExecutionPath({self.label}, acc={self.accuracy:.3f})"

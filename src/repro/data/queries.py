@@ -51,9 +51,88 @@ class Query:
     user: int = -1
 
 
+@dataclass(frozen=True)
+class QueryArrays:
+    """Column (structure-of-arrays) view of one query stream.
+
+    The array fast path (:mod:`repro.serving.fastpath`) consumes queries
+    in this form so no per-query Python object exists on its hot path.
+    ``tenant_codes`` indexes into ``tenants`` (code 0 is always the
+    untagged tenant ``""`` for streams generated without tags); ``user``
+    carries the shard-group key (``-1`` = key off ``index``), mirroring
+    :class:`Query` field for field.
+    """
+
+    index: np.ndarray  # int64, the global query indices
+    size: np.ndarray  # int64 candidate-item counts
+    arrival_s: np.ndarray  # float64 arrival timestamps
+    tenant_codes: np.ndarray  # int32 codes into ``tenants``
+    tenants: tuple[str, ...]  # code -> tenant name ("" when untagged)
+    user: np.ndarray  # int64 user keys (-1 = unkeyed)
+
+    def __post_init__(self) -> None:
+        n = self.index.shape[0]
+        for name in ("size", "arrival_s", "tenant_codes", "user"):
+            if getattr(self, name).shape != (n,):
+                raise ValueError(f"{name} must match index length {n}")
+
+    def __len__(self) -> int:
+        return int(self.index.shape[0])
+
+    @property
+    def total_samples(self) -> int:
+        """Candidate items across the whole stream."""
+        return int(self.size.sum())
+
+    @classmethod
+    def from_queries(cls, queries) -> "QueryArrays":
+        """Columnize a sequence of :class:`Query` objects (one pass)."""
+        n = len(queries)
+        tenants: list[str] = [""]
+        codes_of: dict[str, int] = {"": 0}
+        index = np.empty(n, dtype=np.int64)
+        size = np.empty(n, dtype=np.int64)
+        arrival = np.empty(n, dtype=np.float64)
+        tenant_codes = np.zeros(n, dtype=np.int32)
+        user = np.empty(n, dtype=np.int64)
+        for i, q in enumerate(queries):
+            index[i] = q.index
+            size[i] = q.size
+            arrival[i] = q.arrival_s
+            user[i] = q.user
+            if q.tenant:
+                code = codes_of.get(q.tenant)
+                if code is None:
+                    code = len(tenants)
+                    codes_of[q.tenant] = code
+                    tenants.append(q.tenant)
+                tenant_codes[i] = code
+        return cls(
+            index=index, size=size, arrival_s=arrival,
+            tenant_codes=tenant_codes, tenants=tuple(tenants), user=user,
+        )
+
+    def to_queries(self) -> list[Query]:
+        """Materialize the stream as :class:`Query` objects."""
+        tenants = self.tenants
+        return [
+            Query(index=i, size=s, arrival_s=a, tenant=tenants[c], user=u)
+            for i, s, a, c, u in zip(
+                self.index.tolist(), self.size.tolist(),
+                self.arrival_s.tolist(), self.tenant_codes.tolist(),
+                self.user.tolist(),
+            )
+        ]
+
+
 @dataclass
 class QuerySet:
     queries: list[Query] = field(default_factory=list)
+    # Cached column view; generators that build queries *from* arrays
+    # attach it up front so as_arrays() skips the object round-trip.
+    _arrays: QueryArrays | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.queries)
@@ -71,6 +150,17 @@ class QuerySet:
 
     def mean_size(self) -> float:
         return float(self.sizes.mean()) if self.queries else 0.0
+
+    def as_arrays(self) -> QueryArrays:
+        """The stream as a :class:`QueryArrays` column view (cached).
+
+        Query sets built by :func:`generate_query_set` carry the arrays
+        they were generated from, so this is free for them; sets built
+        from explicit :class:`Query` lists columnize once on demand.
+        """
+        if self._arrays is None:
+            self._arrays = QueryArrays.from_queries(self.queries)
+        return self._arrays
 
 
 def lognormal_sizes(
@@ -259,6 +349,40 @@ def _flash_crowd_arrivals(
     return _thinned_arrivals(n_queries, base_qps * spike_factor, rng, accept)
 
 
+def generate_query_arrays(
+    n_queries: int = 10_000,
+    mean_size: float = 128.0,
+    qps: float = 1000.0,
+    sigma: float = 1.0,
+    seed: int = 0,
+    process: str = "poisson",
+    tenant: str = "",
+    **process_kwargs,
+) -> QueryArrays:
+    """Generate a query stream directly in column form.
+
+    Draws the exact same sizes and arrivals as :func:`generate_query_set`
+    (same RNG, same order) but never materializes per-query objects —
+    the form the array fast path consumes, and the only practical way to
+    stage 10M+-query day-scale streams.
+    """
+    rng = np.random.default_rng(seed)
+    sizes = lognormal_sizes(n_queries, mean_size, sigma=sigma, rng=rng)
+    arrivals = arrival_times(
+        n_queries, qps, rng=rng, process=process, **process_kwargs
+    )
+    tenants = ("", tenant) if tenant else ("",)
+    code = np.int32(len(tenants) - 1)
+    return QueryArrays(
+        index=np.arange(n_queries, dtype=np.int64),
+        size=sizes.astype(np.int64, copy=False),
+        arrival_s=arrivals.astype(np.float64, copy=False),
+        tenant_codes=np.full(n_queries, code, dtype=np.int32),
+        tenants=tenants,
+        user=np.full(n_queries, -1, dtype=np.int64),
+    )
+
+
 def generate_query_set(
     n_queries: int = 10_000,
     mean_size: float = 128.0,
@@ -270,17 +394,16 @@ def generate_query_set(
     **process_kwargs,
 ) -> QuerySet:
     """The paper's default workload: 10K lognormal queries, mean 128, 1000 QPS."""
-    rng = np.random.default_rng(seed)
-    sizes = lognormal_sizes(n_queries, mean_size, sigma=sigma, rng=rng)
-    arrivals = arrival_times(
-        n_queries, qps, rng=rng, process=process, **process_kwargs
+    arrays = generate_query_arrays(
+        n_queries, mean_size, qps, sigma=sigma, seed=seed, process=process,
+        tenant=tenant, **process_kwargs,
     )
     # tolist() once: plain python scalars construct far faster than
     # per-element numpy indexing at 100k+ queries.
     queries = [
         Query(index=i, size=size, arrival_s=arrival, tenant=tenant)
         for i, (size, arrival) in enumerate(
-            zip(sizes.tolist(), arrivals.tolist())
+            zip(arrays.size.tolist(), arrays.arrival_s.tolist())
         )
     ]
-    return QuerySet(queries=queries)
+    return QuerySet(queries=queries, _arrays=arrays)

@@ -242,13 +242,17 @@ def run_serving_comparison(
     max_batch_size: int = 1,
     batch_timeout_s: float = 0.0,
     streaming: bool = False,
+    engine: str = "event",
 ) -> dict[str, ServingResult]:
     """Run every scheduler through the scenario; returns results by name.
 
     ``shed_policy`` / ``max_batch_size`` / ``batch_timeout_s`` forward to
-    the event engine; defaults reproduce the per-query reference behavior.
+    the engine; defaults reproduce the per-query reference behavior.
     ``streaming=True`` swaps exact record-backed results for constant-memory
-    :class:`~repro.serving.metrics.StreamingMetrics` (same metric API)."""
+    :class:`~repro.serving.metrics.StreamingMetrics` (same metric API).
+    ``engine="fast"`` swaps the event kernel for the array fast path
+    (:mod:`repro.serving.fastpath`) — identical records, far faster at
+    scale."""
     scenario = scenario or ServingScenario.paper_default()
     schedulers = build_schedulers(model, devices, with_cache=with_cache)
     if subset:
@@ -257,7 +261,7 @@ def run_serving_comparison(
     for name, sched in schedulers.items():
         sim = ServingSimulator(
             sched, shed_policy=shed_policy, max_batch_size=max_batch_size,
-            batch_timeout_s=batch_timeout_s,
+            batch_timeout_s=batch_timeout_s, engine=engine,
         )
         results[name] = (
             sim.run_streaming(scenario) if streaming else sim.run(scenario)

@@ -34,6 +34,12 @@ and the knobs they share:
 - Both report through either exact record-backed :class:`ServingResult`
   (``run``) or constant-memory :class:`StreamingMetrics`
   (``run_streaming``); the two share one metric vocabulary.
+- The single-node façade also hosts the **array fast path**
+  (``ServingSimulator(engine="fast")`` / :func:`serve_arrays`): batch
+  formation, shedding, pricing and metrics evaluated as numpy array
+  passes over a :class:`~repro.data.queries.QueryArrays` stream —
+  record-for-record equal to the event kernel, an order of magnitude
+  faster at day scale (docs/serving.md).
 
 See docs/serving.md, docs/cluster.md, and docs/switching.md for the
 guided tour.
@@ -68,6 +74,7 @@ from repro.serving.engine import (
     StreamingSink,
     run_kernel,
 )
+from repro.serving.fastpath import plan_batches, run_fastpath, serve_arrays
 from repro.serving.metrics import (
     CacheStats,
     P2Quantile,
@@ -136,6 +143,9 @@ __all__ = [
     "format_decision",
     "make_policy",
     "make_router",
+    "plan_batches",
+    "run_fastpath",
     "run_kernel",
+    "serve_arrays",
     "shard_slice_bytes",
 ]

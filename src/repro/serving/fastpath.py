@@ -1,0 +1,555 @@
+"""The array fast path: a vectorized single-node serving engine.
+
+The event kernel (:mod:`repro.serving.engine`) pays Python-level cost for
+every ARRIVAL/FLUSH/FINISH event — fundamentally per *event*, which caps
+the engine-scale benchmark around an order of magnitude over the seed
+reference loop and puts a production *day* of traffic (10M+ queries from
+millions of users, the ROADMAP north star) out of reach. This module
+replaces the event loop for the single-node case with closed-form array
+accounting over the column query stream
+(:class:`~repro.data.queries.QueryArrays`):
+
+**Batch formation is precomputable.** On one node, a batch's membership
+and dispatch time depend only on the sorted arrival times, the batch
+capacity ``B``, and the flush timeout — never on dispatch outcomes: a
+batch starting at query ``s`` ends at
+``min(s + B, #arrivals <= arrival[s] + timeout)`` and dispatches at its
+filling arrival (full) or at ``arrival[s] + timeout`` (flush). FINISH
+events only decrement counters, so no heap survives
+(:func:`plan_batches`).
+
+**Batch pricing is vectorizable.** Service times for every batch total
+come from one :meth:`~repro.core.paths.PathProfile.latency_many` pass per
+candidate path — bit-equal to the kernel's per-batch scalar calls — and
+routing replays each scheduler's decision rule against those tables
+(:func:`_make_router`). Shed policies evaluate as per-batch masks over
+the members' wait vector; outcomes land block-wise in preallocated
+columns and reach the sink through
+:meth:`~repro.serving.metrics.StreamingMetrics.observe_many` (streaming)
+or one block materialization pass (records).
+
+**Parity is the contract.** For every supported configuration the fast
+path reproduces the kernel's records bit for bit — same floats, same
+commit order — pinned by ``tests/property/test_prop_engine_parity.py``
+across shed policies, batch sizes, schedulers, and multi-tenant SLAs;
+the kernel remains the reference semantics. Unknown scheduler or policy
+subclasses degrade gracefully: routing falls back to the scheduler's own
+``select_batch`` and shedding to per-member ``admit`` calls, preserving
+exactness at reduced (still batch-level, never event-level) speed.
+
+What the fast path does **not** cover — and
+:class:`~repro.serving.simulator.ServingSimulator` rejects up front —
+is anything that injects events between batches: runtime representation
+switching, the cluster's failure/membership control plane, autoscaling.
+Those remain event-kernel territory; ``serve --fastpath`` enforces the
+same boundary at the CLI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.online import (
+    GreedyLatencyScheduler,
+    MultiPathScheduler,
+    Scheduler,
+    StaticScheduler,
+    TableSwitchScheduler,
+)
+from repro.data.queries import QueryArrays
+from repro.serving.devices import DeviceTimeline
+from repro.serving.engine import RecordSink, StreamingSink, query_energy
+from repro.serving.metrics import QueryRecord, ServingResult, StreamingMetrics
+from repro.serving.policies import (
+    DeadlineAware,
+    DropLate,
+    NoShed,
+    ShedPolicy,
+    make_policy,
+)
+
+DROPPED_LABEL = "DROPPED"
+
+
+# ---- batch formation ------------------------------------------------------
+
+
+def plan_batches(
+    arrivals: np.ndarray, max_batch_size: int, timeout_s: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precompute every batch's ``[start, end)`` slice and dispatch time.
+
+    Single-node batch boundaries are a pure function of the sorted
+    arrival vector: the kernel's flush timer for a batch starting at
+    ``s`` fires at ``arrivals[s] + timeout_s``, and same-instant arrivals
+    pop before that timer (the event loop seeds arrivals with the lowest
+    sequence numbers), so the batch extends to
+    ``min(s + max_batch_size, searchsorted(arrivals, deadline, "right"))``.
+    A full batch dispatches at its filling arrival's timestamp, a flushed
+    one at the deadline — exactly the event semantics, with no heap.
+
+    Returns ``(starts, ends, dispatch_times)`` as parallel arrays.
+    """
+    n = int(arrivals.size)
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0, dtype=np.float64)
+    if max_batch_size == 1:
+        starts = np.arange(n, dtype=np.int64)
+        return starts, starts + 1, arrivals.astype(np.float64, copy=True)
+    deadlines = arrivals + timeout_s
+    limits = np.searchsorted(arrivals, deadlines, side="right")
+    starts: list[int] = []
+    ends: list[int] = []
+    times: list[float] = []
+    s = 0
+    # The boundary chain is sequential (each start depends on the last
+    # end) but touches only ~n / batch_size elements, so per-batch array
+    # indexing beats materializing full python lists.
+    while s < n:
+        end_full = s + max_batch_size
+        end_time = int(limits[s])
+        if end_full <= end_time:
+            end, when = end_full, float(arrivals[end_full - 1])
+        else:
+            end, when = end_time, float(deadlines[s])
+        starts.append(s)
+        ends.append(end)
+        times.append(when)
+        s = end
+    return (
+        np.asarray(starts, dtype=np.int64),
+        np.asarray(ends, dtype=np.int64),
+        np.asarray(times, dtype=np.float64),
+    )
+
+
+# ---- routing --------------------------------------------------------------
+
+
+def _decide(paths, services, b, now, free_at):
+    """First path minimizing projected finish (wait + service)."""
+    best = None
+    best_i = -1
+    for i in paths:
+        pool = free_at[i[1]]
+        earliest = min(pool)
+        wait = earliest - now
+        if wait < 0.0:
+            wait = 0.0
+        finish = wait + services[i[0]][b]
+        if best is None or finish < best:
+            best = finish
+            best_i = i[0]
+    return best_i
+
+
+def _make_router(scheduler: Scheduler, totals: np.ndarray, sla_s: float):
+    """Compile a scheduler into ``route(b, now, free_at) -> (path, service)``.
+
+    Service-time tables are precomputed per path over every batch total
+    (bit-equal to the kernel's scalar pricing); each built-in scheduler's
+    decision rule — including tie-breaks, which follow Python ``max`` /
+    ``min`` first-winner semantics — is replayed against those tables.
+    Scheduler *subclasses* (which may override selection) fall back to
+    calling ``select_batch`` itself: exact, just not table-accelerated.
+    """
+    paths = scheduler.paths
+    if type(scheduler) is StaticScheduler:
+        path = paths[0]
+        services = path.latency_many(totals)
+        services_l = services.tolist()
+
+        def route(b, now, free_at):
+            return path, services_l[b]
+
+        return route
+
+    if type(scheduler) is TableSwitchScheduler:
+        tables = [(i, p.device.name) for i, p in enumerate(paths)]
+        services = [p.latency_many(totals).tolist() for p in paths]
+
+        def route(b, now, free_at):
+            # Queue-blind: lowest profiled service time, first wins ties.
+            best_i = 0
+            best = services[0][b]
+            for i, _ in tables[1:]:
+                s = services[i][b]
+                if s < best:
+                    best, best_i = s, i
+            return paths[best_i], best
+
+        return route
+
+    if type(scheduler) is GreedyLatencyScheduler:
+        entries = [(i, p.device.name) for i, p in enumerate(paths)]
+        services = [p.latency_many(totals).tolist() for p in paths]
+
+        def route(b, now, free_at):
+            i = _decide(entries, services, b, now, free_at)
+            return paths[i], services[i][b]
+
+        return route
+
+    if type(scheduler) is MultiPathScheduler:
+        services = [p.latency_many(totals).tolist() for p in paths]
+        by_kind = []
+        for kind in scheduler.preference:
+            group = [
+                (i, p.device.name, p.accuracy)
+                for i, p in enumerate(paths)
+                if p.kind == kind
+            ]
+            if group:
+                by_kind.append(group)
+        fallback = [
+            (i, p.device.name)
+            for i, p in enumerate(paths)
+            if p.kind == "table"
+        ] or [(i, p.device.name) for i, p in enumerate(paths)]
+
+        def route(b, now, free_at):
+            for group in by_kind:
+                best_key = None
+                best_i = -1
+                for i, device, accuracy in group:
+                    pool = free_at[device]
+                    earliest = min(pool)
+                    wait = earliest - now
+                    if wait < 0.0:
+                        wait = 0.0
+                    finish = wait + services[i][b]
+                    if finish <= sla_s:
+                        key = (accuracy, -finish)
+                        if best_key is None or key > best_key:
+                            best_key, best_i = key, i
+                if best_i >= 0:
+                    return paths[best_i], services[best_i][b]
+            i = _decide(fallback, services, b, now, free_at)
+            return paths[i], services[i][b]
+
+        return route
+
+    def route(b, now, free_at):
+        decision = scheduler.select_batch(
+            int(totals[b]), sla_s, now, free_at
+        )
+        return decision.path, decision.service_s
+
+    return route
+
+
+# ---- outcome columns ------------------------------------------------------
+
+
+class _Columns:
+    """Preallocated outcome columns, filled block-wise in commit order."""
+
+    __slots__ = (
+        "index", "size", "arrival", "start", "finish", "code", "energy",
+        "dropped", "sla", "cursor",
+    )
+
+    def __init__(self, n: int) -> None:
+        self.index = np.empty(n, dtype=np.int64)
+        self.size = np.empty(n, dtype=np.int64)
+        self.arrival = np.empty(n, dtype=np.float64)
+        self.start = np.empty(n, dtype=np.float64)
+        self.finish = np.empty(n, dtype=np.float64)
+        self.code = np.empty(n, dtype=np.int32)
+        self.energy = np.zeros(n, dtype=np.float64)
+        self.dropped = np.zeros(n, dtype=np.bool_)
+        self.sla = np.empty(n, dtype=np.float64)
+        self.cursor = 0
+
+
+class _Labels:
+    """Interned (path label, accuracy) pairs the code column indexes."""
+
+    __slots__ = ("names", "accuracies", "_codes")
+
+    def __init__(self) -> None:
+        self.names: list[str] = []
+        self.accuracies: list[float] = []
+        self._codes: dict[int, int] = {}
+
+    def code_of(self, key: int, name: str, accuracy: float) -> int:
+        """Intern one (label, accuracy) pair under an identity key."""
+        code = self._codes.get(key)
+        if code is None:
+            code = len(self.names)
+            self._codes[key] = code
+            self.names.append(name)
+            self.accuracies.append(accuracy)
+        return code
+
+
+# ---- the vectorized engine ------------------------------------------------
+
+
+def _simulate_columns(
+    scheduler: Scheduler,
+    arrivals: np.ndarray,
+    sizes: np.ndarray,
+    indices: np.ndarray,
+    slas: np.ndarray,
+    policy: ShedPolicy,
+    max_batch_size: int,
+    batch_timeout_s: float,
+    track_energy: bool,
+    sla_s: float,
+) -> tuple[_Columns, _Labels]:
+    """Run the batch plan through routing/shedding/pricing into columns."""
+    n = int(arrivals.size)
+    cols = _Columns(n)
+    labels = _Labels()
+    if n == 0:
+        return cols, labels
+    timeline = DeviceTimeline(scheduler.paths)
+    free_at = timeline.free_at
+    starts, ends, times = plan_batches(arrivals, max_batch_size, batch_timeout_s)
+    totals = np.add.reduceat(sizes, starts)
+    route = _make_router(scheduler, totals, sla_s)
+
+    no_shed = isinstance(policy, NoShed)
+    drop_late = type(policy) is DropLate
+    deadline = type(policy) is DeadlineAware
+    slack = policy.slack if deadline else 1.0
+    drop_code = -1
+
+    starts_l = starts.tolist()
+    ends_l = ends.tolist()
+    times_l = times.tolist()
+    totals_l = totals.tolist()
+    # Only the generic-policy fallback reads per-query SLAs as floats;
+    # materializing the full list up front would cost ~4% of a 10M run.
+    slas_l: list[float] | None = None
+
+    for b in range(len(starts_l)):
+        s = starts_l[b]
+        e = ends_l[b]
+        now = times_l[b]
+        path, service_s = route(b, now, free_at)
+        device = path.device.name
+        server, free = timeline.earliest(device)
+        projected_start = free if free > now else now
+
+        members = slice(s, e)
+        admitted_count = e - s
+        admitted_size = totals_l[b]
+        compute_s = service_s
+        if not no_shed:
+            wait = projected_start - arrivals[members]
+            batch_slas = slas[members]
+            if drop_late:
+                ok = wait <= batch_slas
+            elif deadline:
+                ok = wait + service_s <= slack * batch_slas
+            else:
+                if slas_l is None:
+                    slas_l = slas.tolist()
+                ok = np.fromiter(
+                    (
+                        policy.admit(w, service_s, slas_l[s + j])
+                        for j, w in enumerate(wait.tolist())
+                    ),
+                    dtype=np.bool_, count=e - s,
+                )
+            admitted_count = int(ok.sum())
+            if admitted_count < e - s:
+                if drop_code < 0:
+                    drop_code = labels.code_of(-1, DROPPED_LABEL, 0.0)
+                shed = np.flatnonzero(~ok) + s
+                c = cols.cursor
+                k = shed.size
+                cols.index[c:c + k] = indices[shed]
+                cols.size[c:c + k] = sizes[shed]
+                cols.arrival[c:c + k] = arrivals[shed]
+                cols.start[c:c + k] = arrivals[shed]
+                cols.finish[c:c + k] = arrivals[shed]
+                cols.code[c:c + k] = drop_code
+                cols.dropped[c:c + k] = True
+                cols.sla[c:c + k] = slas[shed]
+                cols.cursor = c + k
+                if admitted_count == 0:
+                    continue
+                members = np.flatnonzero(ok) + s
+                admitted_size = int(sizes[members].sum())
+                compute_s = path.latency(admitted_size)
+
+        finish = projected_start + compute_s
+        timeline.commit(device, server, finish)
+        scheduler.on_batch_dispatched(
+            path, admitted_size, projected_start, finish
+        )
+        batch_energy = 0.0
+        if track_energy:
+            batch_energy = query_energy(path, admitted_size, compute_s)
+        code = labels.code_of(id(path), path.label, path.accuracy)
+        c = cols.cursor
+        k = admitted_count
+        batch_sizes = sizes[members]
+        cols.index[c:c + k] = indices[members]
+        cols.size[c:c + k] = batch_sizes
+        cols.arrival[c:c + k] = arrivals[members]
+        cols.start[c:c + k] = projected_start
+        cols.finish[c:c + k] = finish
+        cols.code[c:c + k] = code
+        if batch_energy:
+            if k == 1:
+                cols.energy[c] = batch_energy
+            else:
+                cols.energy[c:c + k] = (
+                    batch_energy * batch_sizes / admitted_size
+                )
+        cols.sla[c:c + k] = slas[members]
+        cols.cursor = c + k
+    return cols, labels
+
+
+# ---- sink delivery --------------------------------------------------------
+
+
+def _flush_columns(cols: _Columns, labels: _Labels, sink) -> None:
+    """Deliver the committed columns to a sink in bulk.
+
+    :class:`~repro.serving.engine.RecordSink` gets one block
+    materialization pass (records in commit order, bit-equal to the
+    kernel's); :class:`~repro.serving.engine.StreamingSink` folds each
+    label group through ``observe_many``; any other sink receives the
+    kernel's per-outcome ``observe`` calls in commit order.
+    """
+    n = cols.cursor
+    if isinstance(sink, StreamingSink):
+        metrics = sink.result
+        codes = cols.code[:n]
+        for code, name in enumerate(labels.names):
+            group = np.flatnonzero(codes == code)
+            if not group.size:
+                continue
+            dropped = bool(cols.dropped[group[0]])
+            metrics.observe_many(
+                cols.size[group], cols.arrival[group], cols.start[group],
+                cols.finish[group], name, labels.accuracies[code],
+                energies=cols.energy[group], dropped=dropped,
+                slas=cols.sla[group],
+            )
+        return
+    columns = zip(
+        cols.index[:n].tolist(), cols.size[:n].tolist(),
+        cols.arrival[:n].tolist(), cols.start[:n].tolist(),
+        cols.finish[:n].tolist(), cols.code[:n].tolist(),
+        cols.energy[:n].tolist(), cols.dropped[:n].tolist(),
+        cols.sla[:n].tolist(),
+    )
+    names = labels.names
+    accuracies = labels.accuracies
+    if isinstance(sink, RecordSink):
+        records = sink.result.records
+        default_sla = sink.result.sla_s
+        for idx, size, arrival, start, finish, code, energy, drop, sla in columns:
+            records.append(QueryRecord(
+                index=idx, size=size, arrival_s=arrival, start_s=start,
+                finish_s=finish, path_label=names[code],
+                accuracy=accuracies[code], energy_j=energy, dropped=drop,
+                sla_s=None if sla == default_sla else sla,
+            ))
+        return
+    for idx, size, arrival, start, finish, code, energy, drop, sla in columns:
+        sink.observe(
+            idx, size, arrival, start, finish, names[code],
+            accuracies[code], energy, drop, sla,
+        )
+
+
+# ---- entry points ---------------------------------------------------------
+
+
+def _sla_vector(arrays: QueryArrays, sla_s: float, sla_by_tenant) -> np.ndarray:
+    """Per-query SLA targets (scenario ``sla_for`` semantics, columnized)."""
+    slas = np.full(len(arrays), float(sla_s))
+    if sla_by_tenant:
+        for code, name in enumerate(arrays.tenants):
+            if name:
+                slas[arrays.tenant_codes == code] = float(
+                    sla_by_tenant.get(name, sla_s)
+                )
+    return slas
+
+
+def _sorted_stream(arrays: QueryArrays) -> QueryArrays:
+    """The stream in arrival order (stable, matching the kernel's sort)."""
+    arrivals = arrays.arrival_s
+    if arrivals.size < 2 or bool((arrivals[1:] >= arrivals[:-1]).all()):
+        return arrays
+    order = np.argsort(arrivals, kind="stable")
+    return QueryArrays(
+        index=arrays.index[order], size=arrays.size[order],
+        arrival_s=arrivals[order], tenant_codes=arrays.tenant_codes[order],
+        tenants=arrays.tenants, user=arrays.user[order],
+    )
+
+
+def run_fastpath(
+    scheduler: Scheduler,
+    scenario,
+    sink,
+    *,
+    policy: ShedPolicy | str = "none",
+    max_batch_size: int = 1,
+    batch_timeout_s: float = 0.0,
+    track_energy: bool = True,
+) -> None:
+    """Drive one scenario through the array fast path into ``sink``.
+
+    The drop-in replacement for the kernel's ``run_kernel`` drive in the
+    single-node façade: same scenario, same sinks, same records —
+    ``ServingSimulator(engine="fast")`` lands here.
+    """
+    arrays = _sorted_stream(scenario.queries.as_arrays())
+    slas = _sla_vector(arrays, scenario.sla_s, scenario.sla_by_tenant)
+    cols, labels = _simulate_columns(
+        scheduler, arrays.arrival_s, arrays.size, arrays.index, slas,
+        make_policy(policy), max_batch_size, batch_timeout_s, track_energy,
+        scenario.sla_s,
+    )
+    _flush_columns(cols, labels, sink)
+
+
+def serve_arrays(
+    scheduler: Scheduler,
+    arrays: QueryArrays,
+    *,
+    sla_s: float = 0.010,
+    sla_by_tenant: dict[str, float] | None = None,
+    shed_policy: ShedPolicy | str = "none",
+    max_batch_size: int = 1,
+    batch_timeout_s: float = 0.0,
+    track_energy: bool = True,
+    streaming: bool = True,
+) -> StreamingMetrics | ServingResult:
+    """Serve a column query stream end to end, no objects anywhere.
+
+    The day-scale entry point: pair with
+    :func:`~repro.data.queries.generate_query_arrays` to simulate 10M+
+    query streams that never materialize a single ``Query`` —
+    constant-memory with ``streaming=True`` (the default), exact records
+    with ``streaming=False``.
+    """
+    if max_batch_size < 1:
+        raise ValueError("max_batch_size must be >= 1")
+    if batch_timeout_s < 0:
+        raise ValueError("batch_timeout_s must be non-negative")
+    stream = _sorted_stream(arrays)
+    slas = _sla_vector(stream, sla_s, sla_by_tenant)
+    sink = (
+        StreamingSink(scheduler.name, sla_s)
+        if streaming else RecordSink(scheduler.name, sla_s)
+    )
+    cols, labels = _simulate_columns(
+        scheduler, stream.arrival_s, stream.size, stream.index, slas,
+        make_policy(shed_policy), max_batch_size, batch_timeout_s,
+        track_energy, sla_s,
+    )
+    _flush_columns(cols, labels, sink)
+    return sink.result

@@ -307,6 +307,12 @@ class P2Quantile:
             pos[i] += 1.0
         for i in range(5):
             self._desired[i] += self._inc[i]
+        self._adjust()
+
+    def _adjust(self) -> bool:
+        """One sweep of interior-marker adjustment; True if any marker moved."""
+        h, pos = self._heights, self._pos
+        moved = False
         for i in (1, 2, 3):
             d = self._desired[i] - pos[i]
             if (d >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
@@ -318,6 +324,84 @@ class P2Quantile:
                     candidate = self._linear(i, step)
                 h[i] = candidate
                 pos[i] += step
+                moved = True
+        return moved
+
+    _CHUNK_MIN = 256
+
+    @staticmethod
+    def _quantile_sorted(xs: np.ndarray, frac: float) -> float:
+        """Linear-interpolated quantile of an already-sorted array."""
+        idx = frac * (xs.size - 1)
+        lo = int(idx)
+        rem = idx - lo
+        if rem == 0.0:
+            return float(xs[lo])
+        return float(xs[lo] + rem * (xs[lo + 1] - xs[lo]))
+
+    def observe_sorted(self, xs: np.ndarray) -> None:
+        """Fold a pre-sorted chunk of samples in O(log m) marker updates.
+
+        Chunked update (the ``observe_many`` hot path): a sorted block is
+        itself an excellent quantile estimate, so each interior marker
+        height moves toward the block's empirical quantile weighted by the
+        block's share of all observations, while marker positions advance
+        by exact below-marker counts so later per-sample ``observe`` calls
+        stay coherent. Per-sample and chunked folding therefore agree to
+        estimator accuracy, not bit-for-bit — counters stay exact either
+        way. Intended for blocks of at least ``_CHUNK_MIN`` samples;
+        ``observe_many`` routes smaller chunks through ``observe``.
+        """
+        m = int(xs.size)
+        if m == 0:
+            return
+        if not self._heights:
+            if len(self._initial) + m < 5:
+                self._initial.extend(float(v) for v in xs)
+                self.count += m
+                return
+            if self._initial:
+                xs = np.sort(np.concatenate([self._initial, xs]))
+                self._initial = []
+            self.count += m
+            n = self.count
+            self._heights = [
+                self._quantile_sorted(xs, frac) for frac in self._inc
+            ]
+            self._pos = [1.0 + frac * (n - 1) for frac in self._inc]
+            self._desired = [1.0 + frac * (n - 1) for frac in self._inc]
+            return
+        h, pos = self._heights, self._pos
+        self.count += m
+        weight = m / self.count
+        if xs[0] < h[0]:
+            h[0] = float(xs[0])
+        if xs[-1] > h[4]:
+            h[4] = float(xs[-1])
+        for i in (1, 2, 3):
+            h[i] += weight * (self._quantile_sorted(xs, self._inc[i]) - h[i])
+        below = np.searchsorted(xs, h[1:4], side="left")
+        for i in (1, 2, 3):
+            pos[i] += float(below[i - 1])
+        pos[4] += float(m)
+        for i in range(5):
+            self._desired[i] += self._inc[i] * m
+
+    def observe_many(self, xs) -> None:
+        """Fold a chunk of samples (one sort per 4096-sample block).
+
+        Chunks smaller than ``_CHUNK_MIN`` replay through per-sample
+        ``observe`` — a tiny block's empirical tail quantile is too noisy
+        to blend, and the per-sample loop is cheap at that size.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        if xs.size < self._CHUNK_MIN:
+            for x in xs.tolist():
+                self.observe(x)
+            return
+        block = 4096
+        for start in range(0, xs.size, block):
+            self.observe_sorted(np.sort(xs[start:start + block]))
 
     def _parabolic(self, i: int, d: float) -> float:
         h, n = self._heights, self._pos
@@ -371,6 +455,40 @@ class ReservoirSampler:
         self._cursor += 1
         if j < self.capacity:
             self._sample[j] = x
+
+    def observe_many(self, xs) -> None:
+        """Offer a chunk of samples, bit-identical to per-sample ``observe``.
+
+        Consumes the block-drawn uniforms in exactly the per-sample order
+        and computes all replacement slots vectorized; Python touches only
+        the ~``capacity * ln(count/capacity)`` surviving samples, so 10M
+        observations cost thousands of list writes, not millions.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        i = 0
+        n = int(xs.size)
+        fill = self.capacity - len(self._sample)
+        if fill > 0:
+            take = min(fill, n)
+            self._sample.extend(xs[:take].tolist())
+            self.count += take
+            i = take
+        while i < n:
+            if self._cursor == self._BLOCK:
+                self._uniforms = self._rng.random(self._BLOCK)
+                self._cursor = 0
+            take = min(self._BLOCK - self._cursor, n - i)
+            uniforms = self._uniforms[self._cursor:self._cursor + take]
+            counts = self.count + 1 + np.arange(take, dtype=np.float64)
+            slots = (uniforms * counts).astype(np.int64)
+            self._cursor += take
+            self.count += take
+            survivors = np.flatnonzero(slots < self.capacity)
+            values = xs[i:i + take]
+            sample = self._sample
+            for k in survivors.tolist():
+                sample[slots[k]] = float(values[k])
+            i += take
 
     def percentile(self, q: float) -> float:
         """Percentile estimate over the reservoir's current sample."""
@@ -450,6 +568,85 @@ class StreamingMetrics:
         for estimator in self._estimators.values():
             estimator.observe(latency)
         self._reservoir.observe(latency)
+
+    def observe_many(
+        self,
+        sizes,
+        arrivals,
+        starts,
+        finishes,
+        path_label: str,
+        accuracies,
+        energies=0.0,
+        dropped: bool = False,
+        slas=None,
+        block: int = 4096,
+    ) -> None:
+        """Fold a chunk of same-path outcomes in vectorized passes.
+
+        Array counterpart of :meth:`observe` for one ``path_label`` at a
+        time (callers group outcomes by path; a dispatch batch shares its
+        path by construction). ``accuracies``/``energies``/``slas`` accept
+        scalars or per-query arrays; ``slas=None`` applies the run-level
+        target. ``dropped`` marks the whole chunk as shed.
+
+        Counter metrics (throughput, violation/drop rates, breakdowns)
+        are exactly the per-sample values; the reservoir consumes its
+        uniforms bit-identically; summed floats and P² percentile
+        estimates agree to accumulation order / estimator accuracy —
+        pinned in ``tests/property/test_prop_engine_parity.py``.
+        """
+        sizes = np.asarray(sizes, dtype=np.int64)
+        m = int(sizes.size)
+        if m == 0:
+            return
+        finishes = np.asarray(finishes, dtype=np.float64)
+        self.n += m
+        self._path_counts[path_label] += m
+        self._max_finish = max(self._max_finish, float(finishes.max()))
+        if dropped:
+            self.n_dropped += m
+            self.n_violations += m
+            return
+        arrivals = np.asarray(arrivals, dtype=np.float64)
+        del starts  # observe() never reads start_s either
+        sla = np.broadcast_to(
+            np.asarray(
+                self.sla_s if slas is None else slas, dtype=np.float64
+            ),
+            (m,),
+        )
+        accuracy = np.broadcast_to(
+            np.asarray(accuracies, dtype=np.float64), (m,)
+        )
+        self.total_samples += int(sizes.sum())
+        latency = finishes - arrivals
+        correct = sizes * accuracy / 100.0
+        self._correct_sum += float(correct.sum())
+        self._accuracy_weighted_sum += float((accuracy * sizes).sum())
+        if np.ndim(energies):
+            self._energy_sum += float(
+                np.asarray(energies, dtype=np.float64).sum()
+            )
+        else:
+            self._energy_sum += float(energies) * m
+        violated = latency > sla
+        self.n_violations += int(violated.sum())
+        self._compliant_correct_sum += float(correct[~violated].sum())
+        if m < P2Quantile._CHUNK_MIN:
+            # Small folds replay the per-sample estimators (bit-equal to
+            # a plain observe() loop), mirroring P2Quantile.observe_many.
+            for x in latency.tolist():
+                for estimator in self._estimators.values():
+                    estimator.observe(x)
+            self._reservoir.observe_many(latency)
+            return
+        for start in range(0, m, block):
+            chunk = latency[start:start + block]
+            ordered = np.sort(chunk)
+            for estimator in self._estimators.values():
+                estimator.observe_sorted(ordered)
+            self._reservoir.observe_many(chunk)
 
     def observe_record(self, record: QueryRecord, sla_s: float | None = None) -> None:
         """Fold one materialized :class:`QueryRecord` (record-sink shim)."""

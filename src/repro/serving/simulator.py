@@ -43,6 +43,7 @@ from repro.serving.engine import (
     run_kernel,
     shed_batch,  # noqa: F401  (canonical home: repro.serving.engine)
 )
+from repro.serving.fastpath import run_fastpath
 from repro.serving.metrics import QueryRecord, ServingResult, StreamingMetrics
 from repro.serving.policies import ShedPolicy, make_policy
 from repro.serving.workload import ServingScenario
@@ -66,6 +67,12 @@ class ServingSimulator:
     SwitchController` enabling runtime representation switching; its
     per-run state is reset at every ``run``/``run_streaming`` call, and
     its ``events`` record the switches of the latest run.
+
+    ``engine``: ``"event"`` (default) drives the shared event kernel;
+    ``"fast"`` drives the vectorized array fast path
+    (:mod:`repro.serving.fastpath`) — record-for-record equal to the
+    kernel, an order of magnitude faster at scale, but single-node only
+    and incompatible with runtime switching (rejected here).
     """
 
     def __init__(
@@ -76,17 +83,26 @@ class ServingSimulator:
         max_batch_size: int = 1,
         batch_timeout_s: float = 0.0,
         switch_controller=None,
+        engine: str = "event",
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if batch_timeout_s < 0:
             raise ValueError("batch_timeout_s must be non-negative")
+        if engine not in ("event", "fast"):
+            raise ValueError("engine must be 'event' or 'fast'")
+        if engine == "fast" and switch_controller is not None:
+            raise ValueError(
+                "engine='fast' does not support runtime switching; "
+                "use the event engine for switch_controller runs"
+            )
         self.scheduler = scheduler
         self.track_energy = track_energy
         self.policy = make_policy(shed_policy)
         self.max_batch_size = max_batch_size
         self.batch_timeout_s = batch_timeout_s
         self.switch_controller = switch_controller
+        self.engine = engine
 
     @property
     def shed_policy(self) -> str:
@@ -110,6 +126,15 @@ class ServingSimulator:
     # ---- kernel façade ---------------------------------------------------
 
     def _simulate(self, scenario: ServingScenario, sink) -> None:
+        if self.engine == "fast":
+            run_fastpath(
+                self.scheduler, scenario, sink,
+                policy=self.policy,
+                max_batch_size=self.max_batch_size,
+                batch_timeout_s=self.batch_timeout_s,
+                track_energy=self.track_energy,
+            )
+            return
         core = EngineCore(
             self.scheduler,
             self.policy,

@@ -15,19 +15,33 @@ every shed policy, batching on and off, single- and multi-tenant:
 - **elastic == static**, record for record, when the autoscale
   controller never fires (the elastic plumbing is a strict no-op), and
   the **zero-loss drain invariant**: a fleet forced through a
-  2 -> 4 -> 2 membership cycle accounts every query exactly once.
+  2 -> 4 -> 2 membership cycle accounts every query exactly once;
+- **fast path == kernel**, record for record, across every supported
+  scheduler, shed policy, batch size, and tenancy (the array engine of
+  :mod:`repro.serving.fastpath` replays the kernel's decision rules
+  against precomputed batch plans — docs/serving.md), and the chunked
+  :meth:`~repro.serving.metrics.StreamingMetrics.observe_many` folds the
+  same outcomes as per-record ``observe``.
 """
 
+import numpy as np
+import pytest
 from hypothesis import given, strategies as st
 
 from tests.property.budget import prop_settings
 
 from repro.analysis.sharding import greedy_shard
-from repro.core.online import MultiPathScheduler, StaticScheduler
+from repro.core.online import (
+    GreedyLatencyScheduler,
+    MultiPathScheduler,
+    StaticScheduler,
+    TableSwitchScheduler,
+)
 from repro.data.queries import Query, QuerySet
 from repro.hardware.catalog import CPU_BROADWELL, GPU_V100
 from repro.serving.autoscale import AutoscaleController
 from repro.serving.cluster import ClusterSimulator
+from repro.serving.metrics import P2Quantile, ReservoirSampler
 from repro.serving.simulator import ReferenceSimulator, ServingSimulator
 from repro.serving.workload import ServingScenario, TenantSpec
 
@@ -46,6 +60,10 @@ policies = st.sampled_from(POLICIES)
 batches = st.sampled_from(BATCH_SIZES)
 slas = st.floats(min_value=5e-4, max_value=0.05)
 schedulers = st.sampled_from(["static", "multi"])
+# The fast path compiles a dedicated router per built-in scheduler type;
+# exercise every branch (plus the select_batch fallback via subclasses
+# in tests/unit/test_fastpath.py).
+fast_schedulers = st.sampled_from(["static", "multi", "tswitch", "greedy"])
 
 
 def build_scheduler(kind):
@@ -53,10 +71,15 @@ def build_scheduler(kind):
         return StaticScheduler(
             [fake_path("table", CPU_BROADWELL, 78.79, 2e-3, label="T")]
         )
-    return MultiPathScheduler([
+    paths = [
         fake_path("table", CPU_BROADWELL, 78.79, 2e-3, label="T"),
         fake_path("hybrid", GPU_V100, 78.98, 4e-3, label="H"),
-    ])
+    ]
+    if kind == "tswitch":
+        return TableSwitchScheduler(paths)
+    if kind == "greedy":
+        return GreedyLatencyScheduler(paths)
+    return MultiPathScheduler(paths)
 
 
 def build_scenario(gaps, sizes, sla_s, tenants=False):
@@ -223,3 +246,89 @@ def test_elastic_cluster_is_noop_when_controller_never_fires(
     expected = sorted_records(static.run(scenario).result)
     got = sorted_records(elastic.run(scenario).result)
     assert got == expected
+
+
+@prop_settings(40)
+@given(gaps=gaps, sizes=query_sizes, sla=slas, policy=policies,
+       batch=batches, sched_kind=fast_schedulers, tenants=st.booleans())
+def test_fastpath_matches_kernel_record_for_record(
+    gaps, sizes, sla, policy, batch, sched_kind, tenants
+):
+    """Every scheduler x policy x batch size x tenancy: the array fast
+    path reproduces the event kernel bit for bit — same floats, same
+    commit order, energy and per-tenant SLA stamps included."""
+    scenario = build_scenario(gaps, sizes, sla, tenants=tenants)
+    event = ServingSimulator(
+        build_scheduler(sched_kind), shed_policy=policy,
+        max_batch_size=batch, batch_timeout_s=0.001,
+    )
+    fast = ServingSimulator(
+        build_scheduler(sched_kind), shed_policy=policy,
+        max_batch_size=batch, batch_timeout_s=0.001, engine="fast",
+    )
+    assert fast.run(scenario).records == event.run(scenario).records
+
+
+@prop_settings(25)
+@given(gaps=gaps, sizes=query_sizes, sla=slas, policy=policies,
+       batch=batches, tenants=st.booleans())
+def test_fastpath_streaming_counters_match_kernel(
+    gaps, sizes, sla, policy, batch, tenants
+):
+    """The fast path's bulk ``observe_many`` fold reports the same
+    counter metrics as the kernel's per-outcome streaming sink."""
+    scenario = build_scenario(gaps, sizes, sla, tenants=tenants)
+    event = ServingSimulator(
+        build_scheduler("multi"), shed_policy=policy,
+        max_batch_size=batch, batch_timeout_s=0.001,
+    )
+    fast = ServingSimulator(
+        build_scheduler("multi"), shed_policy=policy,
+        max_batch_size=batch, batch_timeout_s=0.001, engine="fast",
+    )
+    expected = event.run_streaming(scenario)
+    got = fast.run_streaming(scenario)
+    assert got.raw_throughput == expected.raw_throughput
+    assert got.violation_rate == expected.violation_rate
+    assert got.drop_rate == expected.drop_rate
+    assert got.mean_accuracy == expected.mean_accuracy
+    assert got.total_energy_j == pytest.approx(
+        expected.total_energy_j, rel=1e-12, abs=0.0
+    )
+    assert got.switching_breakdown() == expected.switching_breakdown()
+
+
+@prop_settings(20)
+@given(
+    base=st.lists(
+        st.floats(min_value=1e-6, max_value=1.0), min_size=8, max_size=48
+    ),
+    q=st.sampled_from([0.5, 0.95, 0.99]),
+)
+def test_observe_many_equals_per_observe(base, q):
+    """Chunked quantile folding agrees with the per-sample estimator.
+
+    The reservoir consumes the identical RNG stream, so its samples are
+    bit-equal; the P² markers follow a count-weighted blend, so the
+    estimate is pinned to a tolerance (and the min/max markers exactly).
+    """
+    # Tile the drawn values into a >= 256-element stream so observe_many
+    # takes the chunked sorted-block path, not the small-chunk replay.
+    xs = np.tile(np.asarray(base, dtype=np.float64), 40)
+    xs *= np.linspace(1.0, 1.5, xs.size)
+
+    one = P2Quantile(q)
+    for x in xs.tolist():
+        one.observe(x)
+    many = P2Quantile(q)
+    many.observe_many(xs)
+    truth = float(np.quantile(xs, q))
+    spread = float(xs.max() - xs.min()) or 1.0
+    assert abs(many.value - truth) <= abs(one.value - truth) + 0.05 * spread
+
+    r_one = ReservoirSampler(capacity=64, seed=3)
+    for x in xs.tolist():
+        r_one.observe(x)
+    r_many = ReservoirSampler(capacity=64, seed=3)
+    r_many.observe_many(xs)
+    assert r_many._sample == r_one._sample

@@ -350,6 +350,45 @@ class TestCommands:
         assert code == 2
         assert "--scheduler" in capsys.readouterr().err
 
+    def test_serve_fastpath(self, capsys):
+        code = main([
+            "serve", "--fastpath", "--queries", "200", "--max-batch", "8",
+            "--batch-timeout-ms", "1", "--shed-policy", "deadline-aware",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fast (array path)" in out
+        assert "correct predictions/s" in out
+
+    def test_serve_fastpath_matches_event_engine_output(self, capsys):
+        flags = [
+            "serve", "--queries", "300", "--qps", "5000", "--max-batch",
+            "8", "--batch-timeout-ms", "2", "--shed-policy", "drop-late",
+        ]
+        assert main(flags) == 0
+        event_out = capsys.readouterr().out
+        assert main(flags + ["--fastpath"]) == 0
+        fast_out = capsys.readouterr().out
+        # Identical records => identical report, modulo the engine line.
+        strip = lambda s: [  # noqa: E731
+            line for line in s.splitlines() if not line.startswith("engine")
+        ]
+        assert strip(fast_out) == strip(event_out)
+
+    def test_serve_fastpath_flag_hygiene(self, capsys):
+        # The fast path is single-node and event-free: every mode that
+        # injects events between batches must be rejected, not ignored.
+        for flags, needle in [
+            (["--nodes", "2"], "--nodes > 1"),
+            (["--switching"], "--switching"),
+            (["--autoscale", "--max-nodes", "2"], "--autoscale"),
+            (["--autopilot", "--max-nodes", "2"], "--autopilot"),
+        ]:
+            code = main(["serve", "--fastpath", "--queries", "10"] + flags)
+            assert code == 2
+            err = capsys.readouterr().err
+            assert needle in err and "--fastpath" in err
+
     def test_characterize(self, capsys):
         code = main(["characterize", "--dataset", "kaggle", "--batch", "256"])
         assert code == 0

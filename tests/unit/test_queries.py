@@ -3,7 +3,11 @@ import pytest
 
 from repro.data.queries import (
     MAX_QUERY_SIZE,
+    Query,
+    QueryArrays,
+    QuerySet,
     arrival_times,
+    generate_query_arrays,
     generate_query_set,
     lognormal_sizes,
 )
@@ -235,3 +239,56 @@ class TestGenerateQuerySet:
         a = generate_query_set(n_queries=100, seed=5)
         b = generate_query_set(n_queries=100, seed=5)
         assert [q.size for q in a] == [q.size for q in b]
+
+
+class TestQueryArrays:
+    def test_generate_arrays_matches_object_generator(self):
+        """Same seed, same draws: the column generator reproduces the
+        object generator's sizes and arrivals exactly."""
+        qs = generate_query_set(n_queries=500, seed=9, tenant="acme")
+        arrays = generate_query_arrays(n_queries=500, seed=9, tenant="acme")
+        assert arrays.size.tolist() == [q.size for q in qs]
+        assert arrays.arrival_s.tolist() == [q.arrival_s for q in qs]
+        assert [arrays.tenants[c] for c in arrays.tenant_codes] == (
+            [q.tenant for q in qs]
+        )
+
+    def test_as_arrays_round_trip(self):
+        queries = [
+            Query(index=i, size=i + 1, arrival_s=0.001 * i,
+                  tenant="t" if i % 2 else "", user=i * 7)
+            for i in range(20)
+        ]
+        arrays = QuerySet(queries=queries).as_arrays()
+        assert arrays.to_queries() == queries
+
+    def test_as_arrays_is_cached(self):
+        qs = generate_query_set(n_queries=50, seed=1)
+        assert qs.as_arrays() is qs.as_arrays()
+
+    def test_generated_set_carries_arrays_without_round_trip(self):
+        """generate_query_set attaches the columns it drew — asking for
+        them must not rebuild from the object list."""
+        qs = generate_query_set(n_queries=64, seed=2)
+        arrays = qs.as_arrays()
+        assert arrays is qs._arrays
+        assert len(arrays) == 64
+        assert arrays.total_samples == qs.total_samples
+
+    def test_empty_tenant_interned_as_code_zero(self):
+        arrays = QueryArrays.from_queries(
+            [Query(index=0, size=1, arrival_s=0.0)]
+        )
+        assert arrays.tenants[0] == ""
+        assert arrays.tenant_codes.tolist() == [0]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            QueryArrays(
+                index=np.arange(3, dtype=np.int64),
+                size=np.ones(2, dtype=np.int64),
+                arrival_s=np.zeros(3),
+                tenant_codes=np.zeros(3, dtype=np.int32),
+                tenants=("",),
+                user=np.zeros(3, dtype=np.int64),
+            )

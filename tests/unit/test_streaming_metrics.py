@@ -211,3 +211,89 @@ class TestDroppedExcludedFromThroughput:
             ),
         )
         assert stream.raw_throughput == pytest.approx(exact.raw_throughput)
+
+
+class TestObserveMany:
+    """Bulk folding must agree with the per-sample path (fast-path sink)."""
+
+    def _streams(self, rng, n=3000):
+        sizes = rng.integers(1, 512, size=n)
+        arrivals = np.sort(rng.random(n))
+        latencies = rng.exponential(0.01, size=n)
+        finishes = arrivals + latencies
+        energies = rng.random(n)
+        slas = rng.choice([0.005, 0.010, 0.050], size=n)
+        return sizes, arrivals, finishes, energies, slas
+
+    def test_counters_match_per_observe(self, rng):
+        sizes, arrivals, finishes, energies, slas = self._streams(rng)
+        one = StreamingMetrics("t", sla_s=0.010)
+        for i in range(sizes.size):
+            one.observe(int(sizes[i]), float(arrivals[i]), 0.0,
+                        float(finishes[i]), "P", 80.0,
+                        energy_j=float(energies[i]), sla_s=float(slas[i]))
+        many = StreamingMetrics("t", sla_s=0.010)
+        many.observe_many(sizes, arrivals, None, finishes, "P", 80.0,
+                          energies=energies, slas=slas)
+        assert many.n == one.n
+        assert many.n_violations == one.n_violations
+        assert many.total_samples == one.total_samples
+        assert many.raw_throughput == one.raw_throughput
+        assert many.violation_rate == one.violation_rate
+        assert many.switching_breakdown() == one.switching_breakdown()
+        assert many.total_energy_j == pytest.approx(
+            one.total_energy_j, rel=1e-12
+        )
+        assert many.mean_accuracy == pytest.approx(
+            one.mean_accuracy, rel=1e-12
+        )
+
+    def test_reservoir_stream_is_bit_identical(self, rng):
+        sizes, arrivals, finishes, _, _ = self._streams(rng)
+        one = StreamingMetrics("t", sla_s=0.010)
+        for i in range(sizes.size):
+            one.observe(int(sizes[i]), float(arrivals[i]), 0.0,
+                        float(finishes[i]), "P", 80.0)
+        many = StreamingMetrics("t", sla_s=0.010)
+        many.observe_many(sizes, arrivals, None, finishes, "P", 80.0)
+        assert many._reservoir._sample == one._reservoir._sample
+        assert many._reservoir.count == one._reservoir.count
+
+    def test_percentiles_track_truth(self, rng):
+        sizes, arrivals, finishes, _, _ = self._streams(rng, n=20_000)
+        many = StreamingMetrics("t", sla_s=0.010)
+        many.observe_many(sizes, arrivals, None, finishes, "P", 80.0)
+        latencies = finishes - arrivals
+        for q, got in ((50, many.p50_latency_s), (95, many.p95_latency_s),
+                       (99, many.p99_latency_s)):
+            truth = float(np.percentile(latencies, q))
+            assert got == pytest.approx(truth, rel=0.05)
+
+    def test_dropped_chunk_counts_without_latency(self):
+        many = StreamingMetrics("t", sla_s=0.010)
+        many.observe_many([5, 6], [0.0, 0.1], None, [0.0, 0.1], "DROPPED",
+                          0.0, dropped=True)
+        assert many.n == 2 and many.n_dropped == 2
+        assert many.n_violations == 2
+        assert many.total_samples == 0
+        assert many.makespan_s == pytest.approx(0.1)
+
+    def test_empty_chunk_is_noop(self):
+        many = StreamingMetrics("t", sla_s=0.010)
+        many.observe_many([], [], None, [], "P", 80.0)
+        assert many.n == 0
+
+    def test_small_chunks_replay_exact_estimators(self, rng):
+        """Chunks below the chunked-P2 threshold replay per-sample
+        observe, so repeated small folds are bit-equal to the loop."""
+        latencies = rng.exponential(0.01, size=100)
+        one = StreamingMetrics("t", sla_s=0.010)
+        for lat in latencies.tolist():
+            one.observe(10, 0.0, 0.0, lat, "P", 80.0)
+        many = StreamingMetrics("t", sla_s=0.010)
+        for start in range(0, 100, 10):
+            chunk = latencies[start:start + 10]
+            many.observe_many(np.full(10, 10), np.zeros(10), None, chunk,
+                              "P", 80.0)
+        assert many.p99_latency_s == one.p99_latency_s
+        assert many.p50_latency_s == one.p50_latency_s
