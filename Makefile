@@ -32,7 +32,8 @@ perf-smoke:
 		benchmarks/test_runtime_switching.py \
 		benchmarks/test_autoscaling.py \
 		benchmarks/test_cluster_cache.py \
-		benchmarks/test_ablation_scheduler.py
+		benchmarks/test_ablation_scheduler.py \
+		benchmarks/test_geo_serving.py
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

@@ -113,8 +113,9 @@ def build_parser() -> argparse.ArgumentParser:
              "(hysteresis; default 250 ms, requires --switching)",
     )
     serve.add_argument(
-        "--nodes", type=_positive_int, default=1,
-        help="cluster size; >1 serves through the multi-node simulator",
+        "--nodes", type=_positive_int, default=None,
+        help="cluster size; >1 serves through the multi-node simulator "
+             "(with --regions: nodes per region; default 1)",
     )
     serve.add_argument(
         "--router", default="round-robin",
@@ -180,6 +181,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the first N autopilot decisions with every candidate "
              "action's predicted cost (requires --autopilot)",
     )
+    serve.add_argument(
+        "--regions", type=_positive_int, default=None,
+        help="geo-distributed serving: this many regions of --nodes "
+             "nodes each over a WAN, driven by a follow-the-sun "
+             "phase-offset diurnal day (requires --nodes)",
+    )
+    serve.add_argument(
+        "--wan-link", default=None,
+        choices=["wan-metro", "wan-transcon", "wan-intercont"],
+        help="WAN link class joining the regions (default wan-metro; "
+             "requires --regions)",
+    )
+    serve.add_argument(
+        "--geo-router", default=None, choices=["pinned", "spill"],
+        help="cross-region routing: pinned keeps queries home, spill "
+             "offloads SLA-risk peaks to the cheapest remote region "
+             "(default spill; requires --regions)",
+    )
+    serve.add_argument(
+        "--region-replication", type=_positive_int, default=None,
+        help="regions replicating each region's shards; >= 2 survives a "
+             "region failure (default 1; requires --regions)",
+    )
+    serve.add_argument(
+        "--region-fail-at", type=float, default=None, metavar="SECONDS",
+        help="kill --fail-region at this simulation time (region "
+             "failover drill; requires --regions)",
+    )
+    serve.add_argument(
+        "--fail-region", type=int, default=None,
+        help="region id for --region-fail-at (requires --regions)",
+    )
 
     char = sub.add_parser("characterize", help="operator breakdowns")
     char.add_argument("--dataset", default="kaggle", choices=["kaggle", "terabyte"])
@@ -238,6 +271,89 @@ def cmd_serve(args) -> int:
 
     config = _datasets()[args.dataset]
     # Pure flag checks run before the (potentially huge) workload is built.
+    # Geo flags first: they redefine what --nodes means (nodes per region).
+    if args.regions is None:
+        geo_flags = [
+            ("--wan-link", args.wan_link is not None),
+            ("--geo-router", args.geo_router is not None),
+            ("--region-replication", args.region_replication is not None),
+            ("--region-fail-at", args.region_fail_at is not None),
+            ("--fail-region", args.fail_region is not None),
+        ]
+        offending = [flag for flag, used in geo_flags if used]
+        if offending:
+            print(
+                f"error: {', '.join(offending)} require(s) --regions",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        if args.nodes is None:
+            print(
+                "error: --regions needs --nodes (the per-region cluster "
+                "size)", file=sys.stderr,
+            )
+            return 2
+        incompatible = [
+            ("--fastpath", args.fastpath),
+            ("--switching", args.switching),
+            ("--autoscale", args.autoscale),
+            ("--autopilot", args.autopilot),
+            ("--fail-at/--fail-node",
+             args.fail_at is not None or args.fail_node != 0),
+        ]
+        offending = [flag for flag, used in incompatible if used]
+        if offending:
+            print(
+                f"error: {', '.join(offending)} cannot combine with "
+                "--regions (the region tier owns failure drills; "
+                "per-cluster controllers are not composed)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.arrivals != "poisson":
+            print(
+                "error: --regions builds its own follow-the-sun "
+                "phase-offset diurnal day; drop --arrivals",
+                file=sys.stderr,
+            )
+            return 2
+        if args.region_fail_at is not None and args.region_fail_at < 0:
+            print(
+                f"error: --region-fail-at must be non-negative, got "
+                f"{args.region_fail_at:g}", file=sys.stderr,
+            )
+            return 2
+        if (args.region_fail_at is None) != (args.fail_region is None):
+            print(
+                "error: --region-fail-at and --fail-region go together",
+                file=sys.stderr,
+            )
+            return 2
+        if args.fail_region is not None \
+                and not 0 <= args.fail_region < args.regions:
+            print(
+                f"error: --fail-region {args.fail_region} out of range "
+                f"for --regions {args.regions}", file=sys.stderr,
+            )
+            return 2
+        if args.region_replication is not None \
+                and args.region_replication > args.regions:
+            print(
+                f"error: --region-replication {args.region_replication} "
+                f"exceeds --regions {args.regions}", file=sys.stderr,
+            )
+            return 2
+        if args.replication > args.nodes:
+            print(
+                f"error: --replication {args.replication} exceeds "
+                f"--nodes {args.nodes} (shards replicate within a "
+                "region; across regions use --region-replication)",
+                file=sys.stderr,
+            )
+            return 2
+    if args.nodes is None:
+        args.nodes = 1
     if args.fastpath:
         event_only = [
             ("--switching", args.switching),
@@ -379,6 +495,8 @@ def cmd_serve(args) -> int:
                 "replication chains", file=sys.stderr,
             )
             return 2
+    if args.regions is not None:
+        return _serve_regions(args, config)
     scenario = ServingScenario.with_process(
         args.arrivals, n_queries=args.queries, qps=args.qps,
         sla_s=args.sla_ms / 1e3, seed=args.seed,
@@ -588,6 +706,68 @@ def _serve_autopilot(args, config, scenario, max_nodes) -> int:
         print(f"edge drops             : {cluster.edge_drops}")
     for decision in cluster.control_decisions[:args.trace_decisions]:
         print(f"  {format_decision(decision)}")
+    return 0
+
+
+def _serve_regions(args, config) -> int:
+    from repro.experiments.setup import build_regions, follow_the_sun_scenario
+    from repro.hardware.topology import CLUSTER_LINKS
+
+    scenario, region_of = follow_the_sun_scenario(
+        n_regions=args.regions, n_queries=args.queries, qps=args.qps,
+        sla_s=args.sla_ms / 1e3, seed=args.seed,
+    )
+    geo_kwargs = {}
+    if args.region_fail_at is not None:
+        geo_kwargs.update(
+            fail_at=args.region_fail_at, fail_region=args.fail_region
+        )
+    sim = build_regions(
+        config, args.regions, nodes_per_region=args.nodes,
+        wan=args.wan_link or "wan-metro",
+        geo_router=args.geo_router or "spill",
+        region_replication=args.region_replication or 1,
+        scheduler=args.scheduler, router=args.router,
+        replication=args.replication, link=CLUSTER_LINKS[args.link],
+        shed_policy=args.shed_policy, max_batch_size=args.max_batch,
+        batch_timeout_s=args.batch_timeout_ms / 1e3,
+        max_queue=args.max_queue, **_cache_kwargs(args), **geo_kwargs,
+    )
+    res = (
+        sim.run_streaming(scenario, region_of)
+        if args.streaming else sim.run(scenario, region_of)
+    )
+    result = res.result
+    print(f"geo fleet              : {args.regions} regions x {args.nodes} "
+          f"node(s), {res.router} geo-router, {res.wan.name}, "
+          f"region replication {res.region_replication}")
+    print(f"scheduler              : {args.scheduler}")
+    print(f"correct predictions/s  : {result.correct_prediction_throughput:,.0f}")
+    print(f"raw samples/s          : {result.raw_throughput:,.0f}")
+    print(f"served accuracy        : {result.mean_accuracy:.3f}%")
+    print(f"SLA violations         : {result.violation_rate * 100:.2f}%")
+    print(f"shed (dropped)         : {result.drop_rate * 100:.2f}%")
+    print(f"p99 latency            : {result.p99_latency_s * 1e3:.2f} ms")
+    print(f"spilled / re-homed     : {res.spills} / {res.rehomed}")
+    print(f"WAN traffic            : {res.wan_bytes / 1e6:.2f} MB "
+          f"({res.wan_cost_j:.2f} J-eq)")
+    print(f"total cost             : {res.total_cost_j:.2f} J-eq")
+    for name, metrics in zip(res.regions, res.per_region):
+        print(f"  {name:8s} violations {metrics.violation_rate * 100:6.2f}%  "
+              f"p99 {metrics.p99_latency_s * 1e3:8.2f} ms")
+    if res.cross_region is not None and res.cross_region.n:
+        print(f"  {'x-region':8s} violations "
+              f"{res.cross_region.violation_rate * 100:6.2f}%  "
+              f"p99 {res.cross_region.p99_latency_s * 1e3:8.2f} ms "
+              f"({res.cross_region.n} crossed)")
+    _print_cache(res.cache)
+    if res.failed_regions:
+        names = [res.regions[r] for r in res.failed_regions]
+        print(f"failed regions         : {names}")
+        print(f"rerouted / lost        : {res.rerouted} / {res.lost}")
+        print(f"wasted energy          : {res.wasted_energy_j:.2f} J")
+    if res.edge_drops:
+        print(f"edge drops             : {res.edge_drops}")
     return 0
 
 

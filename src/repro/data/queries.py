@@ -251,6 +251,7 @@ def _diurnal_arrivals(
     rng: np.random.Generator,
     period_s: float = 10.0,
     amplitude: float = 0.6,
+    phase_s: float = 0.0,
 ) -> np.ndarray:
     """Inhomogeneous Poisson arrivals with a sinusoidal rate.
 
@@ -258,6 +259,12 @@ def _diurnal_arrivals(
     pattern Hercules provisions for — Section 7); ``period_s`` compresses a
     day into a simulable window. Rate(t) = mean * (1 + amplitude*sin(...)),
     sampled by vectorized thinning against the peak rate.
+
+    ``phase_s`` shifts the whole cycle earlier in time: a stream with
+    ``phase_s = period_s / 2`` peaks half a day away from an unshifted
+    one.  Follow-the-sun geo scenarios stagger one stream per region this
+    way (:func:`merge_query_arrays` then interleaves them), so each
+    region's peak lands in another's trough.
     """
     if not 0 <= amplitude < 1:
         raise ValueError("amplitude must be in [0, 1)")
@@ -265,7 +272,8 @@ def _diurnal_arrivals(
 
     def accept(candidates, rng):
         rate = mean_qps * (
-            1.0 + amplitude * np.sin(2 * np.pi * candidates / period_s)
+            1.0
+            + amplitude * np.sin(2 * np.pi * (candidates + phase_s) / period_s)
         )
         return rng.random(candidates.size) < rate / peak
 
@@ -380,6 +388,60 @@ def generate_query_arrays(
         tenant_codes=np.full(n_queries, code, dtype=np.int32),
         tenants=tenants,
         user=np.full(n_queries, -1, dtype=np.int64),
+    )
+
+
+def merge_query_arrays(
+    streams: list[QueryArrays],
+) -> tuple[QueryArrays, np.ndarray]:
+    """Interleave per-source column streams into one arrival-ordered stream.
+
+    The multi-region analogue of :meth:`~repro.serving.workload.
+    ServingScenario.multi_tenant`'s merge, kept in column form: queries
+    from every stream are merged by arrival time (ties broken by source
+    order, so the merge is deterministic), re-indexed globally ``0..n-1``,
+    and returned together with a parallel ``source_ids`` array saying
+    which input stream each merged query came from — the per-query home
+    region a :class:`~repro.serving.region.RegionSimulator` routes by.
+
+    Tenant tags are preserved (codes are re-mapped into the merged tenant
+    table); ``user`` keys pass through unchanged.
+    """
+    if not streams:
+        raise ValueError("need at least one stream to merge")
+    sizes = np.concatenate([s.size for s in streams])
+    arrivals = np.concatenate([s.arrival_s for s in streams])
+    users = np.concatenate([s.user for s in streams])
+    source_ids = np.concatenate(
+        [np.full(len(s), i, dtype=np.int64) for i, s in enumerate(streams)]
+    )
+    tenants: list[str] = [""]
+    codes_of: dict[str, int] = {"": 0}
+    code_chunks = []
+    for stream in streams:
+        remap = np.empty(len(stream.tenants), dtype=np.int32)
+        for local_code, name in enumerate(stream.tenants):
+            merged_code = codes_of.get(name)
+            if merged_code is None:
+                merged_code = codes_of[name] = len(tenants)
+                tenants.append(name)
+            remap[local_code] = merged_code
+        code_chunks.append(remap[stream.tenant_codes])
+    tenant_codes = np.concatenate(code_chunks)
+    # Stable sort: simultaneous arrivals keep source order, then each
+    # source's own submission order — deterministic and testable.
+    order = np.argsort(arrivals, kind="stable")
+    n = sizes.shape[0]
+    return (
+        QueryArrays(
+            index=np.arange(n, dtype=np.int64),
+            size=sizes[order],
+            arrival_s=arrivals[order],
+            tenant_codes=tenant_codes[order],
+            tenants=tuple(tenants),
+            user=users[order],
+        ),
+        source_ids[order],
     )
 
 

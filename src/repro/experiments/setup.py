@@ -28,8 +28,13 @@ from repro.hardware.device import GB, MB, DeviceSpec
 from repro.hardware.topology import ETHERNET_100G, LinkSpec
 from repro.models.configs import KAGGLE, TERABYTE, ModelConfig
 from repro.quality.estimator import QualityEstimator
+import numpy as np
+
+from repro.data.queries import generate_query_arrays, merge_query_arrays
 from repro.serving.autoscale import AutoscaleController
 from repro.serving.cluster import ClusterResult, ClusterSimulator
+from repro.serving.region import GeoRouter, RegionResult, RegionSimulator
+from repro.serving.wan import WanLink
 from repro.serving.controlplane import ACTION_CLASSES, ControlPlane
 from repro.serving.metrics import ServingResult
 from repro.serving.routing import Router
@@ -496,3 +501,119 @@ def run_autoscaled_serving(
     scenario = scenario or ServingScenario.paper_default()
     cluster = build_autoscaled_cluster(model, min_nodes, max_nodes, **kwargs)
     return cluster.run_streaming(scenario) if streaming else cluster.run(scenario)
+
+
+def follow_the_sun_scenario(
+    n_regions: int = 3,
+    n_queries: int = 3000,
+    qps: float = 1000.0,
+    mean_size: float = 128.0,
+    sla_s: float = 0.05,
+    period_s: float = 60.0,
+    amplitude: float = 0.8,
+    seed: int = 0,
+) -> tuple[ServingScenario, np.ndarray]:
+    """One global day of traffic with each region's peak chasing the sun.
+
+    Every region gets its own diurnal stream (``n_queries`` each, same
+    rate curve) phase-offset by ``period_s / n_regions`` from its
+    neighbor, so exactly one region is near peak at any instant while
+    another sits in its trough — the scenario where cross-region
+    spilling has capacity to borrow.  Returns the merged arrival-ordered
+    scenario plus the parallel home-region array
+    :class:`~repro.serving.region.RegionSimulator` routes by.  The
+    default SLA is 50 ms — geo-scale, room for a WAN round trip — not
+    the single-cluster 10 ms.
+    """
+    if n_regions < 1:
+        raise ValueError("n_regions must be >= 1")
+    streams = [
+        generate_query_arrays(
+            n_queries=n_queries,
+            mean_size=mean_size,
+            qps=qps,
+            seed=seed + region,
+            process="diurnal",
+            period_s=period_s,
+            amplitude=amplitude,
+            phase_s=region * period_s / n_regions,
+        )
+        for region in range(n_regions)
+    ]
+    merged, region_of = merge_query_arrays(streams)
+    return ServingScenario(queries=merged.to_queries(), sla_s=sla_s), region_of
+
+
+def build_regions(
+    model: ModelConfig,
+    n_regions: int,
+    nodes_per_region: int = 1,
+    region_names: list[str] | None = None,
+    wan: str | WanLink = "wan-metro",
+    geo_router: str | GeoRouter = "spill",
+    region_replication: int = 1,
+    **kwargs,
+) -> RegionSimulator:
+    """Assemble a geo fleet: ``n_regions`` identical serving clusters
+    (each via :func:`build_cluster`, with the contiguous ``node_base``
+    offsets region composition requires) behind one WAN link and one
+    geo router.  ``kwargs`` split by destination: region-tier knobs
+    (``spill_margin``, ``fail_region``, ``fail_at``, ``bytes_per_query``,
+    ``region_cache_bytes``) go to the
+    :class:`~repro.serving.region.RegionSimulator`; the rest forward to
+    every member's :func:`build_cluster` call."""
+    if n_regions < 1:
+        raise ValueError("n_regions must be >= 1")
+    if nodes_per_region < 1:
+        raise ValueError("nodes_per_region must be >= 1")
+    if region_names is None:
+        region_names = [f"r{i}" for i in range(n_regions)]
+    if len(region_names) != n_regions:
+        raise ValueError("need one name per region")
+    region_keys = (
+        "spill_margin", "fail_region", "fail_at", "bytes_per_query",
+        "region_cache_bytes",
+    )
+    region_kwargs = {k: kwargs.pop(k) for k in region_keys if k in kwargs}
+    regions = [
+        (
+            region_names[i],
+            build_cluster(
+                model, nodes_per_region,
+                node_base=i * nodes_per_region, **kwargs,
+            ),
+        )
+        for i in range(n_regions)
+    ]
+    return RegionSimulator(
+        regions, wan=wan, geo_router=geo_router,
+        region_replication=region_replication, **region_kwargs,
+    )
+
+
+def run_geo_serving(
+    model: ModelConfig,
+    n_regions: int = 3,
+    nodes_per_region: int = 1,
+    scenario: ServingScenario | None = None,
+    region_of: np.ndarray | None = None,
+    streaming: bool = False,
+    seed: int = 0,
+    **kwargs,
+) -> RegionResult:
+    """Run a follow-the-sun day through a geo fleet; the region-tier
+    analogue of :func:`run_cluster_serving`.  Builds the default
+    :func:`follow_the_sun_scenario` (keyed to ``n_regions`` and
+    ``seed``) unless a scenario + home array pair is passed."""
+    if (scenario is None) != (region_of is None):
+        raise ValueError("scenario and region_of go together")
+    if scenario is None:
+        scenario, region_of = follow_the_sun_scenario(
+            n_regions=n_regions, seed=seed
+        )
+    sim = build_regions(
+        model, n_regions, nodes_per_region=nodes_per_region, **kwargs
+    )
+    if streaming:
+        return sim.run_streaming(scenario, region_of)
+    return sim.run(scenario, region_of)

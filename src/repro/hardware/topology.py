@@ -57,6 +57,21 @@ CLUSTER_LINKS = {
     link.name: link for link in (ETHERNET_25G, ETHERNET_100G, RDMA_100G)
 }
 
+# WAN-class links joining *regions* (repro.serving.region): tens of
+# milliseconds of one-way propagation latency and metered per-path
+# bandwidth, orders of magnitude past any intra-cluster fabric.  Metro =
+# same metro area (dark fiber), transcon = transcontinental backbone,
+# intercont = intercontinental submarine cable.  The per-byte dollar/
+# energy pricing of these links lives with the geo layer
+# (:mod:`repro.serving.wan`); this module only knows time.
+WAN_METRO = LinkSpec(name="wan-metro", bandwidth=2.5e9, latency_s=0.012)
+WAN_TRANSCON = LinkSpec(name="wan-transcon", bandwidth=1.25e9, latency_s=0.035)
+WAN_INTERCONT = LinkSpec(name="wan-intercont", bandwidth=6.25e8, latency_s=0.080)
+
+WAN_LINKS = {
+    link.name: link for link in (WAN_METRO, WAN_TRANSCON, WAN_INTERCONT)
+}
+
 
 def alltoall_exchange_time(
     remote_bytes: float, n_participants: int, link: LinkSpec

@@ -127,7 +127,15 @@ _KNUTH = 2654435761  # multiplicative hash for query -> shard group
 
 @dataclass(frozen=True)
 class ShardMap:
-    """Shard-group ownership + per-sample remote-byte model for a cluster."""
+    """Shard-group ownership + per-sample remote-byte model for a cluster.
+
+    ``node_base`` offsets every node id in ``owners`` (and the indexing of
+    ``cold_local_share``) by a constant: a cluster composed into a multi-
+    region fleet (:mod:`repro.serving.region`) keeps its shard groups
+    local but its nodes live in a *global* id space, so one shared event
+    loop can drive every region's cores.  Standalone clusters keep the
+    default base of 0 and nothing changes.
+    """
 
     n_nodes: int
     replication: int
@@ -137,6 +145,7 @@ class ShardMap:
     owners: tuple[frozenset[int], ...]
     # cold_local_share[n] = fraction of item-side bytes node n hosts locally.
     cold_local_share: tuple[float, ...]
+    node_base: int = 0  # global id of this cluster's node 0
 
     @classmethod
     def from_plan(
@@ -144,6 +153,7 @@ class ShardMap:
         plan: ShardingPlan,
         replication: int = 1,
         hot_fraction: float = 0.5,
+        node_base: int = 0,
     ) -> "ShardMap":
         """Derive the cluster's ownership and locality model from a
         sharding plan: chain each shard group (and each table slice) onto
@@ -154,8 +164,11 @@ class ShardMap:
             raise ValueError("replication must be in [1, n_nodes]")
         if not 0.0 <= hot_fraction <= 1.0:
             raise ValueError("hot_fraction must be in [0, 1]")
+        if node_base < 0:
+            raise ValueError("node_base must be non-negative")
         owners = tuple(
-            frozenset(replica_nodes(g, replication, n)) for g in range(n)
+            frozenset(node_base + r for r in replica_nodes(g, replication, n))
+            for g in range(n)
         )
         # A node hosts a feature's bytes locally in proportion to the rows
         # it holds: a table-wise feature is fully local to its replicas,
@@ -181,6 +194,7 @@ class ShardMap:
             bytes_per_sample=n_features * feature_bytes,
             owners=owners,
             cold_local_share=tuple(b / total for b in local_bytes),
+            node_base=node_base,
         )
 
     def group_of(self, query: Query) -> int:
@@ -203,7 +217,7 @@ class ShardMap:
         """The cold (item-side) share of one sample's fabric pull — the
         component the cache tier cannot shrink (it caches hot rows)."""
         cold = (1.0 - self.hot_fraction) * self.bytes_per_sample
-        return cold * (1.0 - self.cold_local_share[node_id])
+        return cold * (1.0 - self.cold_local_share[node_id - self.node_base])
 
     def coverage_ok(self, alive: set[int]) -> bool:
         """True while every shard group keeps at least one alive replica."""
@@ -354,7 +368,21 @@ class ClusterSimulator:
         cache_policy: str = "lru",
         cache_alpha: float = 1.05,
         cache_hot_rows: int | None = None,
+        node_base: int = 0,
     ) -> None:
+        if node_base < 0:
+            raise ValueError("node_base must be non-negative")
+        if node_base and (
+            switch_controller is not None
+            or autoscale is not None
+            or controlplane is not None
+            or fail_at is not None
+        ):
+            raise ValueError(
+                "node_base composes a cluster into a region fleet; per-"
+                "cluster controllers and failure injection are owned by "
+                "the RegionSimulator there"
+            )
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if batch_timeout_s < 0:
@@ -406,7 +434,10 @@ class ClusterSimulator:
                 "enable the cache tier (cache_bytes > 0)"
             )
         self.plan = plan
-        self.shard_map = ShardMap.from_plan(plan, replication, hot_fraction)
+        self.node_base = node_base
+        self.shard_map = ShardMap.from_plan(
+            plan, replication, hot_fraction, node_base=node_base
+        )
         self.cache_config = (
             CacheConfig(
                 capacity_bytes=cache_bytes,
@@ -455,13 +486,22 @@ class ClusterSimulator:
 
     def run(self, scenario: ServingScenario) -> ClusterResult:
         """Simulate and return exact, record-backed cluster metrics."""
+        self._check_standalone()
         sink = RecordSink(self.scheduler_name, scenario.sla_s)
         return self._simulate(scenario, sink)
 
     def run_streaming(self, scenario: ServingScenario) -> ClusterResult:
         """Simulate with constant-memory merged metrics (O(1) per query)."""
+        self._check_standalone()
         sink = StreamingSink(self.scheduler_name, scenario.sla_s)
         return self._simulate(scenario, sink)
+
+    def _check_standalone(self) -> None:
+        if self.node_base:
+            raise ValueError(
+                "a cluster built with node_base != 0 is a region member; "
+                "drive it through RegionSimulator.run, not directly"
+            )
 
     # ---- kernel façade ---------------------------------------------------
 
@@ -509,7 +549,8 @@ class ClusterSimulator:
             else self.plan.n_nodes
         )
         cores = []
-        for node_id, sched in enumerate(self.schedulers):
+        for local, sched in enumerate(self.schedulers):
+            node_id = self.node_base + local
             switcher = None
             if self.switch_controller is not None:
                 # Residency is per node: give the node its own controller
@@ -520,7 +561,7 @@ class ClusterSimulator:
             cache = None
             if self.cache_config is not None:
                 cache = self._build_cache(k_groups)
-                if self.cache_config.policy == "static" and node_id < k_groups:
+                if self.cache_config.policy == "static" and local < k_groups:
                     # Profiled residency, provisioned offline like the
                     # single-node EncoderCache.fit_static: resident paths
                     # preload in order until the byte budget is spent.
@@ -566,7 +607,10 @@ class ClusterSimulator:
             cached = (
                 plan,
                 ShardMap.from_plan(
-                    plan, self.shard_map.replication, self.shard_map.hot_fraction
+                    plan,
+                    self.shard_map.replication,
+                    self.shard_map.hot_fraction,
+                    node_base=self.node_base,
                 ),
             )
             self._epoch_cache[k] = cached

@@ -1,0 +1,56 @@
+"""Meta-test: every property file draws from the shared example budget.
+
+The nightly CI job scales Hypothesis example counts through the
+``PROP_EXAMPLES_MULT`` environment variable, which only works if every
+``@given`` in ``tests/property/`` is wrapped by
+:func:`tests.property.budget.prop_settings`.  A property file that
+imports :mod:`hypothesis.settings` directly (or forgets the wrapper on
+one test) silently opts out of the nightly deep pass — this test turns
+that drift into a loud failure.
+"""
+
+from pathlib import Path
+
+PROP_DIR = Path(__file__).parent
+PROP_FILES = sorted(
+    p for p in PROP_DIR.glob("test_prop_*.py") if p.name != "test_prop_meta.py"
+)
+
+# Built by concatenation so this file never matches its own literals.
+GIVEN_MARK = "@" + "given"
+SETTINGS_MARK = "@" + "prop_settings"
+IMPORT_MARK = "from tests.property.budget " + "import prop_settings"
+
+
+def test_property_files_exist():
+    """The glob is live — an empty match would vacuously pass below."""
+    assert len(PROP_FILES) >= 7
+
+
+def test_every_property_file_imports_the_shared_budget():
+    missing = [p.name for p in PROP_FILES if IMPORT_MARK not in p.read_text()]
+    assert not missing, (
+        f"property files bypassing the shared example budget: {missing}"
+    )
+
+
+def test_every_given_is_wrapped_in_prop_settings():
+    uneven = {}
+    for path in PROP_FILES:
+        text = path.read_text()
+        n_given = text.count(GIVEN_MARK)
+        n_settings = text.count(SETTINGS_MARK)
+        if n_given != n_settings:
+            uneven[path.name] = (n_given, n_settings)
+    assert not uneven, (
+        "files where @given and @prop_settings counts diverge "
+        f"(given, settings): {uneven}"
+    )
+
+
+def test_no_property_file_hardcodes_hypothesis_settings():
+    raw = "from hypothesis import " + "settings"
+    offenders = [p.name for p in PROP_FILES if raw in p.read_text()]
+    assert not offenders, (
+        f"property files importing hypothesis settings directly: {offenders}"
+    )
